@@ -1,0 +1,138 @@
+// Command btbench regenerates the paper's tables and figures on the
+// simulated device fleet.
+//
+// Usage:
+//
+//	btbench                  # run every experiment
+//	btbench -exp fig4        # one experiment: e0, table1, table2, fig1,
+//	                         # table3, fig4, fig5, fig6, table4, fig7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bettertogether/internal/experiments"
+	"bettertogether/internal/report"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (e0, table1, table2, fig1, table3, fig4, fig5, fig6, table4, fig7, abl-dp, abl-k, abl-buffers, abl-reps, ext-energy, all)")
+	flag.Parse()
+
+	s := experiments.NewSuite()
+	ids := strings.Split(*exp, ",")
+	if *exp == "all" {
+		ids = []string{"table1", "table2", "fig1", "e0", "table3", "fig4", "fig5", "fig6", "table4", "fig7", "abl-dp", "abl-k", "abl-buffers", "abl-reps", "abl-slack", "ext-energy", "ext-vision"}
+	}
+	for _, id := range ids {
+		if err := run(s, strings.TrimSpace(id)); err != nil {
+			fmt.Fprintf(os.Stderr, "btbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func run(s *experiments.Suite, id string) error {
+	switch id {
+	case "table1":
+		fmt.Print(report.Section("Table 1", s.Table1()))
+	case "table2":
+		fmt.Print(report.Section("Table 2", s.Table2()))
+	case "fig1":
+		_, body, err := s.Fig1()
+		if err != nil {
+			return err
+		}
+		fmt.Print(body)
+	case "e0":
+		_, body, err := s.IntroClaim()
+		if err != nil {
+			return err
+		}
+		fmt.Print(body)
+	case "table3":
+		_, body, err := s.Table3()
+		if err != nil {
+			return err
+		}
+		fmt.Print(body)
+	case "fig4":
+		_, _, body, err := s.Fig4()
+		if err != nil {
+			return err
+		}
+		fmt.Print(body)
+	case "fig5":
+		_, body, err := s.Fig5()
+		if err != nil {
+			return err
+		}
+		fmt.Print(body)
+	case "fig6":
+		_, body, err := s.Fig6()
+		if err != nil {
+			return err
+		}
+		fmt.Print(body)
+	case "table4":
+		_, body, err := s.Table4()
+		if err != nil {
+			return err
+		}
+		fmt.Print(body)
+	case "fig7":
+		_, body, err := s.Fig7()
+		if err != nil {
+			return err
+		}
+		fmt.Print(body)
+	case "abl-dp":
+		_, body, err := s.AblationDataParallel()
+		if err != nil {
+			return err
+		}
+		fmt.Print(body)
+	case "abl-k":
+		_, body, err := s.AblationK()
+		if err != nil {
+			return err
+		}
+		fmt.Print(body)
+	case "abl-buffers":
+		_, body, err := s.AblationBuffers()
+		if err != nil {
+			return err
+		}
+		fmt.Print(body)
+	case "abl-reps":
+		_, body, err := s.AblationReps()
+		if err != nil {
+			return err
+		}
+		fmt.Print(body)
+	case "abl-slack":
+		_, body, err := s.AblationSlack()
+		if err != nil {
+			return err
+		}
+		fmt.Print(body)
+	case "ext-vision":
+		_, body, err := s.ExtVision()
+		if err != nil {
+			return err
+		}
+		fmt.Print(body)
+	case "ext-energy":
+		_, body, err := s.ExtEnergy()
+		if err != nil {
+			return err
+		}
+		fmt.Print(body)
+	default:
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+// Command btrun executes a pipeline schedule on a device, either on the
+// discrete-event simulator (virtual device time, the measurement path of
+// the evaluation) or with the real concurrent engine (actual Go kernels
+// on worker pools, wall-clock time).
+//
+// Usage:
+//
+//	btrun -app octree -device pixel7a -schedule auto
+//	btrun -app octree -device pixel7a -schedule big,big,gpu,gpu,gpu,big,big
+//	btrun -app alexnet-dense -device jetson -schedule gpu -engine real
+//
+// A single class name replicates across all stages (homogeneous
+// baseline); "auto" runs the full BetterTogether optimization first.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bettertogether/pkg/bt"
+	"bettertogether/pkg/btapps"
+)
+
+func main() {
+	appName := flag.String("app", "octree", "application: alexnet-dense, alexnet-sparse, octree, vision")
+	devName := flag.String("device", "pixel7a", "device: pixel7a, oneplus11, jetson, jetson-lp")
+	schedule := flag.String("schedule", "auto", `comma-separated PU classes per stage, one class for all, or "auto"`)
+	engine := flag.String("engine", "sim", "execution engine: sim (virtual device time) or real (actual kernels)")
+	tasks := flag.Int("tasks", 30, "measured tasks")
+	warmup := flag.Int("warmup", 5, "warmup tasks excluded from metrics")
+	seed := flag.Int64("seed", 1, "simulation noise seed")
+	gantt := flag.Bool("gantt", false, "render an ASCII Gantt chart of the run (sim engine only)")
+	flag.Parse()
+
+	app, err := btapps.ByName(*appName)
+	fatalIf(err)
+	dev, err := bt.DeviceByName(*devName)
+	fatalIf(err)
+
+	var sch bt.Schedule
+	switch {
+	case *schedule == "auto":
+		fmt.Fprintln(os.Stderr, "btrun: profiling and optimizing...")
+		sch, err = bt.AutoSchedule(app, dev)
+		fatalIf(err)
+	case !strings.Contains(*schedule, ","):
+		sch = bt.NewUniformSchedule(len(app.Stages), bt.PUClass(*schedule))
+	default:
+		for _, c := range strings.Split(*schedule, ",") {
+			sch.Assign = append(sch.Assign, bt.PUClass(strings.TrimSpace(c)))
+		}
+	}
+
+	plan, err := bt.NewPlan(app, dev, sch)
+	fatalIf(err)
+	opts := bt.RunOptions{Tasks: *tasks, Warmup: *warmup, Seed: *seed}
+	var tl *bt.Timeline
+	if *gantt {
+		tl = &bt.Timeline{}
+		opts.Trace = tl
+	}
+
+	var r bt.RunResult
+	switch *engine {
+	case "sim":
+		r = bt.Simulate(plan, opts)
+	case "real":
+		r = bt.Execute(plan, opts)
+	default:
+		fatalIf(fmt.Errorf("unknown engine %q", *engine))
+	}
+
+	fmt.Printf("app       %s\ndevice    %s\nschedule  %s\nengine    %s\n",
+		app.Name, dev.Label, sch, *engine)
+	fmt.Printf("tasks     %d (+%d warmup)\n", *tasks, *warmup)
+	fmt.Printf("per-task  %.3f ms\nelapsed   %.3f ms\n", r.PerTask*1e3, r.Elapsed*1e3)
+	if len(r.ChunkBusy) > 0 {
+		fmt.Printf("chunk busy fractions: ")
+		for i, b := range r.ChunkBusy {
+			if i > 0 {
+				fmt.Print(", ")
+			}
+			fmt.Printf("%.2f", b)
+		}
+		fmt.Println()
+	}
+	if tl != nil {
+		fmt.Println()
+		fmt.Print(tl.Gantt(100))
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "btrun:", err)
+		os.Exit(1)
+	}
+}

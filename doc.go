@@ -1,0 +1,16 @@
+// Package bettertogether reproduces "BetterTogether: An
+// Interference-Aware Framework for Fine-grained Software Pipelining on
+// Heterogeneous SoCs" (IISWC 2025) as a pure-Go library.
+//
+// The public API lives in pkg/bt (framework) and pkg/btapps (evaluation
+// workloads); the implementation in internal/ (see DESIGN.md for the
+// system inventory); runnable demos in examples/; CLI tools in cmd/.
+// The root-level benchmarks in bench_test.go regenerate every table and
+// figure of the paper's evaluation — run them with
+//
+//	go test -bench=. -benchmem .
+//
+// or print the full reports with
+//
+//	go run ./cmd/btbench
+package bettertogether

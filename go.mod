@@ -1,0 +1,3 @@
+module bettertogether
+
+go 1.24

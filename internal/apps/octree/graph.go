@@ -1,0 +1,53 @@
+package octree
+
+import (
+	"fmt"
+
+	"bettertogether/internal/core"
+)
+
+// NewTaskGraph returns the octree application's true dependency
+// structure as an acyclic task graph. The paper (Sec. 3.1, "Task
+// Graph") calls out exactly this workload: the final stage consumes the
+// outputs of several earlier stages — the unique codes, the radix tree,
+// and the scanned offsets — not just its immediate predecessor.
+// BetterTogether supports such applications by linearizing the graph
+// with a topological sort; NewApplicationFromGraph performs that
+// linearization.
+func NewTaskGraph(n int, gen Generator) *core.TaskGraph {
+	app := NewApplication(n, gen)
+	g := &core.TaskGraph{Nodes: app.Stages}
+	// Chain dependencies along the natural dataflow...
+	g.AddEdge(0, 1) // morton     -> sort
+	g.AddEdge(1, 2) // sort       -> unique
+	g.AddEdge(2, 3) // unique     -> radix tree
+	g.AddEdge(3, 4) // radix tree -> edge count
+	g.AddEdge(4, 5) // edge count -> prefix sum
+	// ...plus the fan-in the paper highlights: building the octree needs
+	// the unique codes, the tree structure, and the offsets.
+	g.AddEdge(2, 6)
+	g.AddEdge(3, 6)
+	g.AddEdge(5, 6)
+	return g
+}
+
+// NewApplicationFromGraph builds the octree application by linearizing
+// its task graph instead of hand-ordering the stages — demonstrating
+// that DAG-shaped applications execute unchanged on the linear pipeline
+// model.
+func NewApplicationFromGraph(n int, gen Generator) (*core.Application, error) {
+	if n <= 0 {
+		n = DefaultPoints
+	}
+	if gen == nil {
+		gen = UniformGen{}
+	}
+	g := NewTaskGraph(n, gen)
+	stages, err := g.Linearize()
+	if err != nil {
+		return nil, fmt.Errorf("octree: %w", err)
+	}
+	app := NewApplication(n, gen)
+	app.Stages = stages
+	return app, nil
+}

@@ -1,0 +1,151 @@
+package octree
+
+import "bettertogether/internal/core"
+
+// The radix sort processes keys in fixed "bands" so its decomposition —
+// and therefore its result and its determinism — is independent of how
+// many workers the executing PU offers. Each phase parallelizes over
+// bands through the engine-provided ParallelFor.
+const sortBands = 32
+
+// radixBits is the digit width per LSD pass; 30-bit Morton codes need
+// exactly three 10-bit passes.
+const radixBits = 10
+
+const radixBuckets = 1 << radixBits
+
+// SortScratch holds the pre-allocated working memory of the radix sort,
+// part of the TaskObject's scratchpad (paper Sec. 3.4: "To avoid memory
+// allocation overhead during execution, we pre-allocate scratchpad
+// regions").
+type SortScratch struct {
+	// Ping is the alternate key buffer for the out-of-place passes.
+	Ping []uint32
+	// Hist[band] is the per-band digit histogram of the current pass.
+	Hist [sortBands][radixBuckets]int32
+	// Base[band][digit] is the scatter base of the band's digit run.
+	Base [sortBands][radixBuckets]int32
+}
+
+// NewSortScratch sizes scratch for n keys.
+func NewSortScratch(n int) *SortScratch {
+	return &SortScratch{Ping: make([]uint32, n)}
+}
+
+// bandRange returns the half-open key range of band b for n keys.
+func bandRange(b, n int) (int, int) {
+	lo := b * n / sortBands
+	hi := (b + 1) * n / sortBands
+	return lo, hi
+}
+
+// RadixSort sorts keys ascending using a stable LSD radix sort with
+// banded parallel histogram and scatter phases. The same routine backs
+// the CPU (OpenMP-style) and GPU (multi-pass dispatch-style) kernels: the
+// algorithm is identical, only the lane placement differs, which the
+// engine controls through par.
+func RadixSort(keys []uint32, s *SortScratch, par core.ParallelFor) {
+	n := len(keys)
+	if n <= 1 {
+		return
+	}
+	src, dst := keys, s.Ping[:n]
+	for shift := 0; shift < MortonBits; shift += radixBits {
+		// Phase 1: per-band digit histograms.
+		par(sortBands, func(bLo, bHi int) {
+			for b := bLo; b < bHi; b++ {
+				h := &s.Hist[b]
+				for d := range h {
+					h[d] = 0
+				}
+				lo, hi := bandRange(b, n)
+				for _, k := range src[lo:hi] {
+					h[(k>>uint(shift))&(radixBuckets-1)]++
+				}
+			}
+		})
+		// Phase 2: serial scan over digits × bands computes stable
+		// scatter bases (digit-major, band-minor preserves order).
+		var running int32
+		for d := 0; d < radixBuckets; d++ {
+			for b := 0; b < sortBands; b++ {
+				s.Base[b][d] = running
+				running += s.Hist[b][d]
+			}
+		}
+		// Phase 3: banded stable scatter.
+		par(sortBands, func(bLo, bHi int) {
+			for b := bLo; b < bHi; b++ {
+				base := &s.Base[b]
+				lo, hi := bandRange(b, n)
+				for _, k := range src[lo:hi] {
+					d := (k >> uint(shift)) & (radixBuckets - 1)
+					dst[base[d]] = k
+					base[d]++
+				}
+			}
+		})
+		src, dst = dst, src
+	}
+	// Three passes over 30 bits: odd number, so the result sits in Ping;
+	// copy back in parallel.
+	if &src[0] != &keys[0] {
+		par(n, func(lo, hi int) {
+			copy(keys[lo:hi], src[lo:hi])
+		})
+	}
+}
+
+// Unique compacts the sorted keys, dropping adjacent duplicates, and
+// returns the unique count. It is the standard parallel stream
+// compaction: banded first-occurrence counts, an exclusive scan of the
+// band counts, a parallel gather into scratch at the band bases, and a
+// parallel copy back. scratch must hold at least len(sorted) elements
+// (the sort's Ping buffer is free by the time this stage runs).
+func Unique(sorted, scratch []uint32, par core.ParallelFor) int {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	// Phase 1: per-band counts of "first occurrence" keys. Band b's
+	// first key compares against the previous band's last key, which is
+	// safe because this phase only reads.
+	var counts [sortBands]int32
+	par(sortBands, func(bLo, bHi int) {
+		for b := bLo; b < bHi; b++ {
+			lo, hi := bandRange(b, n)
+			var c int32
+			for i := lo; i < hi; i++ {
+				if i == 0 || sorted[i] != sorted[i-1] {
+					c++
+				}
+			}
+			counts[b] = c
+		}
+	})
+	// Phase 2: exclusive scan of band counts.
+	var bases [sortBands]int32
+	var total int32
+	for b := 0; b < sortBands; b++ {
+		bases[b] = total
+		total += counts[b]
+	}
+	// Phase 3: parallel banded gather into scratch.
+	par(sortBands, func(bLo, bHi int) {
+		for b := bLo; b < bHi; b++ {
+			lo, hi := bandRange(b, n)
+			w := bases[b]
+			for i := lo; i < hi; i++ {
+				if i == 0 || sorted[i] != sorted[i-1] {
+					scratch[w] = sorted[i]
+					w++
+				}
+			}
+		}
+	})
+	// Phase 4: parallel copy back.
+	par(int(total), func(lo, hi int) {
+		copy(sorted[lo:hi], scratch[lo:hi])
+	})
+	return int(total)
+}

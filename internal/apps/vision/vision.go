@@ -1,0 +1,290 @@
+// Package vision is a fourth evaluation-style workload beyond the
+// paper's three: a classic edge camera pipeline over streaming frames —
+// demosaic, denoise, edge detection, histogram equalization, and
+// downscale. It exists to demonstrate that BetterTogether's abstractions
+// extend past the paper's workloads: the stages span the same regularity
+// spectrum (stencils are GPU-friendly, the histogram scatter and the
+// serial CDF are not) and every kernel is a real implementation.
+package vision
+
+import (
+	"math/rand"
+
+	"bettertogether/internal/core"
+)
+
+// Default frame geometry (square RGGB Bayer mosaic).
+const (
+	DefaultWidth  = 256
+	DefaultHeight = 256
+	// Bins is the luminance histogram resolution.
+	Bins = 256
+)
+
+// Task is the pipeline payload: one Bayer frame and every derived
+// buffer, pre-allocated.
+type Task struct {
+	W, H int
+
+	// Bayer is the RGGB mosaic, W×H.
+	Bayer *core.UsmBuffer[float32]
+	// RGB is the demosaiced image, 3×W×H planar.
+	RGB *core.UsmBuffer[float32]
+	// Denoised is the median-filtered image, 3×W×H.
+	Denoised *core.UsmBuffer[float32]
+	// Gray and Grad are the luminance and Sobel magnitude planes, W×H.
+	Gray, Grad *core.UsmBuffer[float32]
+	// Hist is the luminance histogram; LUT the equalization map.
+	Hist *core.UsmBuffer[int32]
+	LUT  *core.UsmBuffer[float32]
+	// Eq is the equalized luminance plane, W×H.
+	Eq *core.UsmBuffer[float32]
+	// Out is the 2x-downscaled result, (W/2)×(H/2).
+	Out *core.UsmBuffer[float32]
+}
+
+// NewTask allocates a task for w×h frames and fills the seq-0 input.
+func NewTask(w, h int) *Task {
+	t := &Task{
+		W: w, H: h,
+		Bayer:    core.NewUsmBuffer[float32](w * h),
+		RGB:      core.NewUsmBuffer[float32](3 * w * h),
+		Denoised: core.NewUsmBuffer[float32](3 * w * h),
+		Gray:     core.NewUsmBuffer[float32](w * h),
+		Grad:     core.NewUsmBuffer[float32](w * h),
+		Hist:     core.NewUsmBuffer[int32](Bins),
+		LUT:      core.NewUsmBuffer[float32](Bins),
+		Eq:       core.NewUsmBuffer[float32](w * h),
+		Out:      core.NewUsmBuffer[float32]((w / 2) * (h / 2)),
+	}
+	t.Regenerate(0)
+	return t
+}
+
+// Regenerate synthesizes the frame for stream sequence seq: a smooth
+// gradient scene with seeded sensor noise and occasional hot pixels —
+// enough structure for every stage to do real work.
+func (t *Task) Regenerate(seq int) {
+	rng := rand.New(rand.NewSource(int64(seq)*60013 + 7))
+	for y := 0; y < t.H; y++ {
+		for x := 0; x < t.W; x++ {
+			base := 0.25 + 0.5*float32(x+y)/float32(t.W+t.H)
+			v := base + float32(rng.NormFloat64())*0.02
+			if rng.Float64() < 0.001 {
+				v = 1 // hot pixel for the median filter to kill
+			}
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+			t.Bayer.Data[y*t.W+x] = v
+		}
+	}
+	for i := range t.Hist.Data {
+		t.Hist.Data[i] = 0
+	}
+}
+
+// clampIdx reflects an index into [0, n).
+func clampIdx(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// at reads plane p of a 3×W×H planar image with clamped coordinates.
+func at(img []float32, p, x, y, w, h int) float32 {
+	return img[p*w*h+clampIdx(y, h)*w+clampIdx(x, w)]
+}
+
+// Demosaic converts the RGGB mosaic to planar RGB rows [yLo, yHi) with
+// bilinear interpolation of the missing samples.
+func (t *Task) Demosaic(yLo, yHi int) {
+	w, h := t.W, t.H
+	in, out := t.Bayer.Data, t.RGB.Data
+	sample := func(x, y int) float32 { return in[clampIdx(y, h)*w+clampIdx(x, w)] }
+	// RGGB: (even,even)=R, (odd,even)=G, (even,odd)=G, (odd,odd)=B.
+	for y := yLo; y < yHi; y++ {
+		for x := 0; x < w; x++ {
+			var r, g, b float32
+			switch {
+			case y%2 == 0 && x%2 == 0: // R site
+				r = sample(x, y)
+				g = (sample(x-1, y) + sample(x+1, y) + sample(x, y-1) + sample(x, y+1)) / 4
+				b = (sample(x-1, y-1) + sample(x+1, y-1) + sample(x-1, y+1) + sample(x+1, y+1)) / 4
+			case y%2 == 1 && x%2 == 1: // B site
+				b = sample(x, y)
+				g = (sample(x-1, y) + sample(x+1, y) + sample(x, y-1) + sample(x, y+1)) / 4
+				r = (sample(x-1, y-1) + sample(x+1, y-1) + sample(x-1, y+1) + sample(x+1, y+1)) / 4
+			case y%2 == 0: // G site on an R row
+				g = sample(x, y)
+				r = (sample(x-1, y) + sample(x+1, y)) / 2
+				b = (sample(x, y-1) + sample(x, y+1)) / 2
+			default: // G site on a B row
+				g = sample(x, y)
+				b = (sample(x-1, y) + sample(x+1, y)) / 2
+				r = (sample(x, y-1) + sample(x, y+1)) / 2
+			}
+			idx := y*w + x
+			out[idx] = r
+			out[w*h+idx] = g
+			out[2*w*h+idx] = b
+		}
+	}
+}
+
+// median9 returns the median of 9 values via a fixed sorting network.
+func median9(v [9]float32) float32 {
+	swap := func(a, b int) {
+		if v[a] > v[b] {
+			v[a], v[b] = v[b], v[a]
+		}
+	}
+	// Paeth's 19-exchange median-of-9 network.
+	swap(1, 2)
+	swap(4, 5)
+	swap(7, 8)
+	swap(0, 1)
+	swap(3, 4)
+	swap(6, 7)
+	swap(1, 2)
+	swap(4, 5)
+	swap(7, 8)
+	swap(0, 3)
+	swap(5, 8)
+	swap(4, 7)
+	swap(3, 6)
+	swap(1, 4)
+	swap(2, 5)
+	swap(4, 7)
+	swap(4, 2)
+	swap(6, 4)
+	swap(4, 2)
+	return v[4]
+}
+
+// Denoise applies a 3×3 median filter to rows [yLo, yHi) of every
+// channel.
+func (t *Task) Denoise(yLo, yHi int) {
+	w, h := t.W, t.H
+	in, out := t.RGB.Data, t.Denoised.Data
+	for p := 0; p < 3; p++ {
+		for y := yLo; y < yHi; y++ {
+			for x := 0; x < w; x++ {
+				var win [9]float32
+				k := 0
+				for dy := -1; dy <= 1; dy++ {
+					for dx := -1; dx <= 1; dx++ {
+						win[k] = at(in, p, x+dx, y+dy, w, h)
+						k++
+					}
+				}
+				out[p*w*h+y*w+x] = median9(win)
+			}
+		}
+	}
+}
+
+// Sobel computes luminance and Sobel gradient magnitude for rows
+// [yLo, yHi).
+func (t *Task) Sobel(yLo, yHi int) {
+	w, h := t.W, t.H
+	img := t.Denoised.Data
+	gray, grad := t.Gray.Data, t.Grad.Data
+	lum := func(x, y int) float32 {
+		return 0.299*at(img, 0, x, y, w, h) + 0.587*at(img, 1, x, y, w, h) + 0.114*at(img, 2, x, y, w, h)
+	}
+	for y := yLo; y < yHi; y++ {
+		for x := 0; x < w; x++ {
+			gray[y*w+x] = lum(x, y)
+			gx := lum(x+1, y-1) + 2*lum(x+1, y) + lum(x+1, y+1) -
+				lum(x-1, y-1) - 2*lum(x-1, y) - lum(x-1, y+1)
+			gy := lum(x-1, y+1) + 2*lum(x, y+1) + lum(x+1, y+1) -
+				lum(x-1, y-1) - 2*lum(x, y-1) - lum(x+1, y-1)
+			m := gx*gx + gy*gy
+			grad[y*w+x] = m
+		}
+	}
+}
+
+// histBands is the fixed band decomposition of the histogram stage.
+const histBands = 16
+
+// Histogram accumulates band-local luminance histograms for bands
+// [bLo, bHi) into locals; Merge folds them.
+func (t *Task) Histogram(locals *[histBands][Bins]int32, bLo, bHi int) {
+	n := t.W * t.H
+	gray := t.Gray.Data
+	for b := bLo; b < bHi; b++ {
+		lo, hi := b*n/histBands, (b+1)*n/histBands
+		for _, v := range gray[lo:hi] {
+			bin := int(v * Bins)
+			if bin < 0 {
+				bin = 0
+			}
+			if bin >= Bins {
+				bin = Bins - 1
+			}
+			locals[b][bin]++
+		}
+	}
+}
+
+// MergeHistogram folds the band histograms into Hist and builds the
+// equalization LUT from the cumulative distribution (serial by nature —
+// the stage's Amdahl bottleneck).
+func (t *Task) MergeHistogram(locals *[histBands][Bins]int32) {
+	for i := range t.Hist.Data {
+		t.Hist.Data[i] = 0
+	}
+	for b := 0; b < histBands; b++ {
+		for i := 0; i < Bins; i++ {
+			t.Hist.Data[i] += locals[b][i]
+		}
+	}
+	total := int32(t.W * t.H)
+	var cum int32
+	for i := 0; i < Bins; i++ {
+		cum += t.Hist.Data[i]
+		t.LUT.Data[i] = float32(cum) / float32(total)
+	}
+}
+
+// Equalize maps rows [yLo, yHi) of the luminance plane through the LUT.
+func (t *Task) Equalize(yLo, yHi int) {
+	w := t.W
+	gray, lut, eq := t.Gray.Data, t.LUT.Data, t.Eq.Data
+	for y := yLo; y < yHi; y++ {
+		for x := 0; x < w; x++ {
+			v := gray[y*w+x]
+			bin := int(v * Bins)
+			if bin < 0 {
+				bin = 0
+			}
+			if bin >= Bins {
+				bin = Bins - 1
+			}
+			eq[y*w+x] = lut[bin]
+		}
+	}
+}
+
+// Downscale box-filters the equalized plane 2× into Out for output rows
+// [yLo, yHi) of the half-resolution image.
+func (t *Task) Downscale(yLo, yHi int) {
+	w := t.W
+	ow := w / 2
+	in, out := t.Eq.Data, t.Out.Data
+	for oy := yLo; oy < yHi; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			x, y := 2*ox, 2*oy
+			out[oy*ow+ox] = (in[y*w+x] + in[y*w+x+1] + in[(y+1)*w+x] + in[(y+1)*w+x+1]) / 4
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import "fmt"
+
+// TaskGraph is an acyclic dependency graph of stages. BetterTogether's
+// core model is a linear stage sequence, but applications like octree
+// construction have stages whose inputs come from several earlier stages;
+// the paper (Sec. 3.1, "Task Graph") handles these by linearizing the DAG
+// with a topological sort. TaskGraph implements that linearization.
+type TaskGraph struct {
+	// Nodes are the stages, in declaration order.
+	Nodes []Stage
+	// Edges are (from, to) dependency pairs: Nodes[to] consumes output of
+	// Nodes[from].
+	Edges [][2]int
+}
+
+// AddEdge declares that stage `to` depends on stage `from`.
+func (g *TaskGraph) AddEdge(from, to int) { g.Edges = append(g.Edges, [2]int{from, to}) }
+
+// Linearize returns the stages in a topological order. Among admissible
+// orders it picks the lexicographically smallest by node index (Kahn's
+// algorithm with a sorted frontier), so the output is deterministic and —
+// for graphs derived from an already-ordered pipeline — preserves the
+// declaration order. It returns an error on cycles or out-of-range edges.
+func (g *TaskGraph) Linearize() ([]Stage, error) {
+	n := len(g.Nodes)
+	indeg := make([]int, n)
+	succ := make([][]int, n)
+	for _, e := range g.Edges {
+		from, to := e[0], e[1]
+		if from < 0 || from >= n || to < 0 || to >= n {
+			return nil, fmt.Errorf("core: edge (%d,%d) out of range for %d nodes", from, to, n)
+		}
+		if from == to {
+			return nil, fmt.Errorf("core: self-edge on node %d", from)
+		}
+		succ[from] = append(succ[from], to)
+		indeg[to]++
+	}
+	// Min-index frontier kept as a simple ordered insert; graphs here are
+	// tiny (N <= ~10 stages).
+	var frontier []int
+	push := func(v int) {
+		i := 0
+		for i < len(frontier) && frontier[i] < v {
+			i++
+		}
+		frontier = append(frontier, 0)
+		copy(frontier[i+1:], frontier[i:])
+		frontier[i] = v
+	}
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			push(v)
+		}
+	}
+	order := make([]Stage, 0, n)
+	for len(frontier) > 0 {
+		v := frontier[0]
+		frontier = frontier[1:]
+		order = append(order, g.Nodes[v])
+		for _, w := range succ[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				push(w)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("core: task graph has a cycle (%d of %d nodes ordered)",
+			len(order), n)
+	}
+	return order, nil
+}

@@ -1,0 +1,77 @@
+package core
+
+import "fmt"
+
+// Stage is one unit of computation in a pipeline (paper Sec. 3.1) with a
+// well-defined input/output contract over the TaskObject's buffers and an
+// implementation per backend.
+type Stage struct {
+	// Name identifies the stage in profiling tables and reports.
+	Name string
+	// CPU is the host-side kernel. Required.
+	CPU KernelFunc
+	// GPU is the device-side kernel. Required; the paper's programming
+	// model demands both implementations so the optimizer is free to
+	// place any stage anywhere.
+	GPU KernelFunc
+	// Cost describes the stage's work for the SoC performance model.
+	Cost CostSpec
+}
+
+// Kernel returns the implementation for the given backend.
+func (s Stage) Kernel(be Backend) KernelFunc {
+	if be == BackendGPU {
+		return s.GPU
+	}
+	return s.CPU
+}
+
+// Application is a streaming workload: an ordered sequence of stages where
+// stage i+1 consumes stage i's output, plus a factory for the TaskObjects
+// that flow through the pipeline (paper Sec. 3.1).
+type Application struct {
+	// Name identifies the application ("alexnet-dense", "octree", ...).
+	Name string
+	// Stages is the linearized stage sequence.
+	Stages []Stage
+	// NewTask allocates a fully pre-allocated TaskObject. The pipeline
+	// calls it once per in-flight buffer slot (multi-buffering), never on
+	// the hot path.
+	NewTask func() *TaskObject
+}
+
+// Validate checks that the application is well-formed: at least one
+// stage, both kernels present everywhere, and sane cost specs.
+func (a *Application) Validate() error {
+	if a.Name == "" {
+		return fmt.Errorf("core: application has no name")
+	}
+	if len(a.Stages) == 0 {
+		return fmt.Errorf("core: application %q has no stages", a.Name)
+	}
+	if a.NewTask == nil {
+		return fmt.Errorf("core: application %q has no task factory", a.Name)
+	}
+	for i, s := range a.Stages {
+		if s.Name == "" {
+			return fmt.Errorf("core: application %q stage %d has no name", a.Name, i)
+		}
+		if s.CPU == nil || s.GPU == nil {
+			return fmt.Errorf("core: application %q stage %q must provide both CPU and GPU kernels",
+				a.Name, s.Name)
+		}
+		if err := s.Cost.Validate(); err != nil {
+			return fmt.Errorf("core: application %q stage %q: %w", a.Name, s.Name, err)
+		}
+	}
+	return nil
+}
+
+// StageNames returns the stage names in pipeline order.
+func (a *Application) StageNames() []string {
+	names := make([]string, len(a.Stages))
+	for i, s := range a.Stages {
+		names[i] = s.Name
+	}
+	return names
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// ProfileMode distinguishes the profiler's two execution modes
+// (paper Sec. 3.2).
+type ProfileMode int
+
+const (
+	// Isolated runs the stage alone on its PU — the conventional
+	// profiling methodology of prior work.
+	Isolated ProfileMode = iota
+	// InterferenceHeavy co-schedules synthetic load on every other PU
+	// while measuring — BetterTogether's contribution.
+	InterferenceHeavy
+)
+
+// String names the mode.
+func (m ProfileMode) String() string {
+	if m == InterferenceHeavy {
+		return "interference-heavy"
+	}
+	return "isolated"
+}
+
+// ProfileTable is the 2-D latency table built by BT-Profiler: a row per
+// stage, a column per PU class, entries in seconds (mean of the
+// measurement repetitions).
+type ProfileTable struct {
+	// App names the profiled application.
+	App string
+	// Device names the profiled device.
+	Device string
+	// Mode records which execution mode produced the entries.
+	Mode ProfileMode
+	// Stages are the row labels in pipeline order.
+	Stages []string
+	// PUs are the column labels.
+	PUs []PUClass
+	// Latency[i][j] is the mean latency of stage i on PU j, in seconds.
+	Latency [][]float64
+}
+
+// NewProfileTable allocates a table with all entries NaN (unmeasured).
+func NewProfileTable(app, device string, mode ProfileMode, stages []string, pus []PUClass) *ProfileTable {
+	lat := make([][]float64, len(stages))
+	for i := range lat {
+		lat[i] = make([]float64, len(pus))
+		for j := range lat[i] {
+			lat[i][j] = math.NaN()
+		}
+	}
+	return &ProfileTable{
+		App: app, Device: device, Mode: mode,
+		Stages:  append([]string(nil), stages...),
+		PUs:     append([]PUClass(nil), pus...),
+		Latency: lat,
+	}
+}
+
+// PUIndex returns the column of class pu, or -1.
+func (t *ProfileTable) PUIndex(pu PUClass) int {
+	for j, c := range t.PUs {
+		if c == pu {
+			return j
+		}
+	}
+	return -1
+}
+
+// Set stores the latency of stage row i on class pu.
+func (t *ProfileTable) Set(i int, pu PUClass, seconds float64) {
+	j := t.PUIndex(pu)
+	if j < 0 {
+		panic(fmt.Sprintf("core: unknown PU class %q in profile table", pu))
+	}
+	t.Latency[i][j] = seconds
+}
+
+// Get returns the latency of stage i on class pu in seconds.
+// It panics on an unknown class and returns NaN for unmeasured entries.
+func (t *ProfileTable) Get(i int, pu PUClass) float64 {
+	j := t.PUIndex(pu)
+	if j < 0 {
+		panic(fmt.Sprintf("core: unknown PU class %q in profile table", pu))
+	}
+	return t.Latency[i][j]
+}
+
+// Complete reports whether every entry has been measured.
+func (t *ProfileTable) Complete() bool {
+	for _, row := range t.Latency {
+		for _, v := range row {
+			if math.IsNaN(v) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ChunkTime returns the summed latency of stages [start, end) on class
+// pu — the predicted service time of that chunk.
+func (t *ProfileTable) ChunkTime(pu PUClass, start, end int) float64 {
+	sum := 0.0
+	for i := start; i < end; i++ {
+		sum += t.Get(i, pu)
+	}
+	return sum
+}
+
+// PredictChunkTimes returns each chunk's predicted service time under the
+// schedule.
+func (t *ProfileTable) PredictChunkTimes(s Schedule) []float64 {
+	chunks := s.Chunks()
+	out := make([]float64, len(chunks))
+	for i, c := range chunks {
+		out[i] = t.ChunkTime(c.PU, c.Start, c.End)
+	}
+	return out
+}
+
+// PredictLatency returns the model's steady-state per-task latency for a
+// schedule: the bottleneck (maximum) chunk time, which governs pipeline
+// throughput. This is the T_max the optimizer minimizes in its second
+// phase.
+func (t *ProfileTable) PredictLatency(s Schedule) float64 {
+	best := 0.0
+	for _, ct := range t.PredictChunkTimes(s) {
+		if ct > best {
+			best = ct
+		}
+	}
+	return best
+}
+
+// PredictGapness returns T_max - T_min over the schedule's chunks — the
+// utilization objective O1 of the optimizer's first phase.
+func (t *ProfileTable) PredictGapness(s Schedule) float64 {
+	cts := t.PredictChunkTimes(s)
+	if len(cts) == 0 {
+		return 0
+	}
+	lo, hi := cts[0], cts[0]
+	for _, ct := range cts[1:] {
+		if ct < lo {
+			lo = ct
+		}
+		if ct > hi {
+			hi = ct
+		}
+	}
+	return hi - lo
+}

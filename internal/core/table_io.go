@@ -1,0 +1,97 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+// tableJSON is the serialized form of a ProfileTable. NaN (unmeasured)
+// entries are encoded as null, since JSON has no NaN.
+type tableJSON struct {
+	App     string       `json:"app"`
+	Device  string       `json:"device"`
+	Mode    string       `json:"mode"`
+	Stages  []string     `json:"stages"`
+	PUs     []PUClass    `json:"pus"`
+	Latency [][]*float64 `json:"latency_seconds"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (t *ProfileTable) MarshalJSON() ([]byte, error) {
+	out := tableJSON{
+		App: t.App, Device: t.Device, Mode: t.Mode.String(),
+		Stages: t.Stages, PUs: t.PUs,
+	}
+	for _, row := range t.Latency {
+		jr := make([]*float64, len(row))
+		for j, v := range row {
+			if !math.IsNaN(v) {
+				v := v
+				jr[j] = &v
+			}
+		}
+		out.Latency = append(out.Latency, jr)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (t *ProfileTable) UnmarshalJSON(data []byte) error {
+	var in tableJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	var mode ProfileMode
+	switch in.Mode {
+	case Isolated.String():
+		mode = Isolated
+	case InterferenceHeavy.String():
+		mode = InterferenceHeavy
+	default:
+		return fmt.Errorf("core: unknown profile mode %q", in.Mode)
+	}
+	if len(in.Latency) != len(in.Stages) {
+		return fmt.Errorf("core: table has %d latency rows for %d stages",
+			len(in.Latency), len(in.Stages))
+	}
+	fresh := NewProfileTable(in.App, in.Device, mode, in.Stages, in.PUs)
+	for i, row := range in.Latency {
+		if len(row) != len(in.PUs) {
+			return fmt.Errorf("core: row %d has %d entries for %d PUs", i, len(row), len(in.PUs))
+		}
+		for j, v := range row {
+			if v != nil {
+				fresh.Latency[i][j] = *v
+			}
+		}
+	}
+	*t = *fresh
+	return nil
+}
+
+// SaveTable writes the table as JSON to path.
+func SaveTable(t *ProfileTable, path string) error {
+	data, err := json.Marshal(t)
+	if err != nil {
+		return fmt.Errorf("core: marshal table: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("core: save table: %w", err)
+	}
+	return nil
+}
+
+// LoadTable reads a JSON table from path.
+func LoadTable(path string) (*ProfileTable, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: load table: %w", err)
+	}
+	t := &ProfileTable{}
+	if err := json.Unmarshal(data, t); err != nil {
+		return nil, fmt.Errorf("core: parse table %s: %w", path, err)
+	}
+	return t, nil
+}

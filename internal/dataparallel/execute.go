@@ -1,0 +1,119 @@
+package dataparallel
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"bettertogether/internal/core"
+	"bettertogether/internal/soc"
+)
+
+// Execute runs the data-parallel strategy for real: every stage's
+// iteration space is split across worker pools for *all* PU classes at
+// once, weighted by the profiled shares, with a barrier per stage. This
+// works because kernels express all parallelism through the provided
+// ParallelFor; the weighted ParallelFor built here is the data-parallel
+// counterpart of the pipeline engine's per-chunk pools.
+//
+// Returns the mean wall-clock per-task latency in seconds.
+func Execute(app *core.Application, dev *soc.Device, tab *core.ProfileTable, opts Options) float64 {
+	if opts.Tasks <= 0 {
+		opts.Tasks = 30
+	}
+	shares := Shares(tab)
+
+	type pool struct {
+		width int
+		work  chan func()
+	}
+	pools := make([]*pool, len(tab.PUs))
+	var wg sync.WaitGroup
+	for j, puc := range tab.PUs {
+		pu := dev.PU(puc)
+		width := pu.Cores
+		if pu.Kind == core.KindGPU {
+			width = 8
+		}
+		p := &pool{width: width, work: make(chan func())}
+		pools[j] = p
+		for w := 0; w < width; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for fn := range p.work {
+					fn()
+				}
+			}()
+		}
+	}
+	defer func() {
+		for _, p := range pools {
+			close(p.work)
+		}
+		wg.Wait()
+	}()
+
+	// weightedPar splits [0,n) first across PU classes by share, then
+	// across each class's workers.
+	weightedPar := func(stage int) core.ParallelFor {
+		sh := shares[stage]
+		return func(n int, body func(lo, hi int)) {
+			if n <= 0 {
+				return
+			}
+			var done sync.WaitGroup
+			// Class boundaries by cumulative share.
+			cum := 0.0
+			start := 0
+			for j, p := range pools {
+				cum += sh[j]
+				end := int(math.Round(cum * float64(n)))
+				if j == len(pools)-1 {
+					end = n
+				}
+				if end <= start {
+					continue
+				}
+				// Split the class band across its workers.
+				bands := p.width
+				if bands > end-start {
+					bands = end - start
+				}
+				for w := 0; w < bands; w++ {
+					lo := start + w*(end-start)/bands
+					hi := start + (w+1)*(end-start)/bands
+					if lo >= hi {
+						continue
+					}
+					done.Add(1)
+					p.work <- func() {
+						defer done.Done()
+						body(lo, hi)
+					}
+				}
+				start = end
+			}
+			done.Wait()
+		}
+	}
+
+	task := app.NewTask()
+	begin := time.Now()
+	var measured time.Duration
+	for seq := 0; seq < opts.Warmup+opts.Tasks; seq++ {
+		task.Reset(seq)
+		t0 := time.Now()
+		for i, stage := range app.Stages {
+			// Data-parallel mixes CPU and GPU execution within one
+			// stage; our kernels are backend-symmetric so the host-side
+			// entry point drives both.
+			stage.CPU(task, weightedPar(i))
+		}
+		if seq >= opts.Warmup {
+			measured += time.Since(t0)
+		}
+	}
+	_ = begin
+	return measured.Seconds() / float64(opts.Tasks)
+}

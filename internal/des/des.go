@@ -1,0 +1,106 @@
+// Package des is a minimal deterministic discrete-event simulation
+// engine. The pipeline's simulated execution mode runs on it: dispatcher
+// processes advance a virtual clock by the SoC model's service times
+// instead of wall time, standing in for the paper's hardware timers while
+// keeping experiments exactly reproducible.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled callback. seq breaks time ties in schedule order,
+// which makes runs deterministic regardless of map iteration or goroutine
+// scheduling.
+type event struct {
+	time float64
+	seq  int64
+	fn   func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded event loop over virtual time. It is not
+// safe for concurrent use; simulated concurrency is expressed by
+// scheduling events, not goroutines.
+type Engine struct {
+	now    float64
+	seq    int64
+	events eventHeap
+}
+
+// New returns an engine at time zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Pending returns the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs fn after the given virtual delay. A negative delay is a
+// programming error and panics; a zero delay runs after already-pending
+// events at the current time.
+func (e *Engine) Schedule(delay float64, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("des: negative delay %v", delay))
+	}
+	e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute virtual time t, which must not be in the past.
+func (e *Engine) At(t float64, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("des: scheduling at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{time: t, seq: e.seq, fn: fn})
+}
+
+// Step executes the single earliest event and reports whether one
+// existed.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.time
+	ev.fn()
+	return true
+}
+
+// Run executes events until none remain and returns the final time.
+func (e *Engine) Run() float64 {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with time <= t, then advances the clock to t.
+func (e *Engine) RunUntil(t float64) {
+	for len(e.events) > 0 && e.events[0].time <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}

@@ -1,0 +1,268 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"bettertogether/internal/core"
+	"bettertogether/internal/report"
+	"bettertogether/internal/sched"
+	"bettertogether/internal/soc"
+	"bettertogether/internal/stats"
+)
+
+// StrategyAccuracy is one strategy's predicted-vs-measured series over
+// its top-K candidate schedules on one combo.
+type StrategyAccuracy struct {
+	Strategy  sched.Strategy
+	Schedules []core.Schedule
+	Predicted []float64
+	Measured  []float64
+	// Pearson is the correlation between the two series (NaN when
+	// undefined, e.g. all predictions in one tier).
+	Pearson float64
+}
+
+// accuracyFor measures the top-K candidates of one strategy on a combo.
+func (s *Suite) accuracyFor(appName, devName string, strategy sched.Strategy) (StrategyAccuracy, error) {
+	app, err := s.AppByName(appName)
+	if err != nil {
+		return StrategyAccuracy{}, err
+	}
+	dev, err := s.DeviceByName(devName)
+	if err != nil {
+		return StrategyAccuracy{}, err
+	}
+	opt := sched.New(app, dev, s.Tables(app, dev))
+	cands := opt.Candidates(strategy)
+	acc := StrategyAccuracy{Strategy: strategy}
+	for _, c := range cands {
+		m, err := s.Measure(app, dev, c.Schedule, "accuracy-"+strategy.String())
+		if err != nil {
+			return acc, err
+		}
+		acc.Schedules = append(acc.Schedules, c.Schedule)
+		acc.Predicted = append(acc.Predicted, c.Predicted)
+		acc.Measured = append(acc.Measured, m)
+	}
+	if r, err := stats.Pearson(acc.Predicted, acc.Measured); err == nil {
+		acc.Pearson = r
+	} else {
+		acc.Pearson = math.NaN()
+	}
+	return acc, nil
+}
+
+// Fig5Result holds the three strategies' series for AlexNet-sparse on
+// the Pixel.
+type Fig5Result struct {
+	BT, LatencyOnly, Isolated StrategyAccuracy
+}
+
+// Fig5 reproduces the predicted-vs-measured comparison of the top-20
+// schedules under the three optimization strategies (paper Fig. 5).
+func (s *Suite) Fig5() (Fig5Result, string, error) {
+	var res Fig5Result
+	var err error
+	if res.BT, err = s.accuracyFor("alexnet-sparse", soc.Pixel7a, sched.BetterTogether); err != nil {
+		return res, "", err
+	}
+	if res.LatencyOnly, err = s.accuracyFor("alexnet-sparse", soc.Pixel7a, sched.LatencyOnlyHeavy); err != nil {
+		return res, "", err
+	}
+	if res.Isolated, err = s.accuracyFor("alexnet-sparse", soc.Pixel7a, sched.LatencyOnlyIsolated); err != nil {
+		return res, "", err
+	}
+
+	var body string
+	for _, acc := range []StrategyAccuracy{res.BT, res.LatencyOnly, res.Isolated} {
+		t := report.NewTable(
+			fmt.Sprintf("strategy %s (Pearson %.4f)", acc.Strategy, acc.Pearson),
+			"#", "Predicted (ms)", "Measured (ms)", "Schedule")
+		for i := range acc.Predicted {
+			t.AddRow(fmt.Sprintf("%d", i+1), report.Ms(acc.Predicted[i]),
+				report.Ms(acc.Measured[i]), acc.Schedules[i].String())
+		}
+		body += t.Render() + "\n"
+	}
+	return res, report.Section("Fig 5: predicted vs measured, AlexNet-sparse on Pixel", body), nil
+}
+
+// Fig6Result is the correlation heatmap pair: rows are apps, columns are
+// devices.
+type Fig6Result struct {
+	Apps    []string
+	Devices []string
+	// BT[a][d] and Isolated[a][d] are Pearson correlations of the top-K
+	// schedules of each strategy.
+	BT, Isolated [][]float64
+	// Row/column/global arithmetic means, NaN-skipping.
+	BTAvg, IsolatedAvg float64
+}
+
+// Fig6 reproduces the accuracy heatmaps over every app-device combo for
+// BetterTogether (Fig. 6a) and the prior-work isolated-table strategy
+// (Fig. 6b).
+func (s *Suite) Fig6() (Fig6Result, string, error) {
+	res := Fig6Result{}
+	for _, a := range s.Apps {
+		res.Apps = append(res.Apps, a.Name)
+	}
+	for _, d := range s.Devices {
+		res.Devices = append(res.Devices, d.Name)
+	}
+	var btAll, isoAll []float64
+	for _, app := range res.Apps {
+		var btRow, isoRow []float64
+		for _, dev := range res.Devices {
+			bt, err := s.accuracyFor(app, dev, sched.BetterTogether)
+			if err != nil {
+				return res, "", err
+			}
+			iso, err := s.accuracyFor(app, dev, sched.LatencyOnlyIsolated)
+			if err != nil {
+				return res, "", err
+			}
+			btRow = append(btRow, bt.Pearson)
+			isoRow = append(isoRow, iso.Pearson)
+			if !math.IsNaN(bt.Pearson) {
+				btAll = append(btAll, bt.Pearson)
+			}
+			if !math.IsNaN(iso.Pearson) {
+				isoAll = append(isoAll, iso.Pearson)
+			}
+		}
+		res.BT = append(res.BT, btRow)
+		res.Isolated = append(res.Isolated, isoRow)
+	}
+	res.BTAvg = stats.Mean(btAll)
+	res.IsolatedAvg = stats.Mean(isoAll)
+
+	cols := make([]string, len(res.Devices))
+	for i, d := range res.Devices {
+		cols[i] = DeviceLabel(d)
+	}
+	rows := make([]string, len(res.Apps))
+	for i, a := range res.Apps {
+		rows[i] = AppLabel(a)
+	}
+	hmBT := report.Heatmap{Title: "Fig 6a: BetterTogether correlation", RowLabels: rows, ColLabels: cols, Values: res.BT}
+	hmIso := report.Heatmap{Title: "Fig 6b: isolated-table latency-only correlation", RowLabels: rows, ColLabels: cols, Values: res.Isolated}
+	body := hmBT.Render() + fmt.Sprintf("mean %.4f\n\n", res.BTAvg) +
+		hmIso.Render() + fmt.Sprintf("mean %.4f\n", res.IsolatedAvg)
+	return res, report.Section("Fig 6: model vs real-world correlation", body), nil
+}
+
+// Table4Result holds the autotuning case study: the top schedules of the
+// BT optimizer on AlexNet-sparse/Pixel with measured and predicted
+// latencies.
+type Table4Result struct {
+	Predicted []float64
+	Measured  []float64
+	// Speedup[i] is Measured[0] / Measured[i]: the gain of picking
+	// candidate i over the predicted-best default.
+	Speedup []float64
+	// BestIndex is the measured-best candidate.
+	BestIndex int
+	// AutotuneGain = Measured[0] / Measured[BestIndex].
+	AutotuneGain float64
+}
+
+// Table4 reproduces the autotuning analysis (paper Table 4): measured vs
+// predicted latency for the top-10 candidates, and the speedup obtained
+// by executing candidates instead of trusting the predicted ranking.
+func (s *Suite) Table4() (Table4Result, string, error) {
+	acc, err := s.accuracyFor("alexnet-sparse", soc.Pixel7a, sched.BetterTogether)
+	if err != nil {
+		return Table4Result{}, "", err
+	}
+	n := len(acc.Predicted)
+	if n > 10 {
+		n = 10
+	}
+	res := Table4Result{
+		Predicted: acc.Predicted[:n],
+		Measured:  acc.Measured[:n],
+	}
+	for i := 0; i < n; i++ {
+		res.Speedup = append(res.Speedup, acc.Measured[0]/acc.Measured[i])
+		if acc.Measured[i] < acc.Measured[res.BestIndex] {
+			res.BestIndex = i
+		}
+	}
+	res.AutotuneGain = acc.Measured[0] / acc.Measured[res.BestIndex]
+
+	t := report.NewTable("Table 4: top-10 schedules, AlexNet-sparse on Pixel",
+		"Schedule #", "Measured (ms)", "Predicted (ms)", "Speedup vs #1")
+	for i := 0; i < n; i++ {
+		mark := ""
+		if i == res.BestIndex {
+			mark = " *"
+		}
+		t.AddRow(fmt.Sprintf("%d%s", i+1, mark), report.Ms(res.Measured[i]),
+			report.Ms(res.Predicted[i]), report.F2(res.Speedup[i]))
+	}
+	body := t.Render() + fmt.Sprintf(
+		"(* measured best) autotuning gain over predicted-best: %.2fx\n", res.AutotuneGain)
+	return res, report.Section("Table 4: autotuning solutions", body), nil
+}
+
+// IntroClaimResult is the Sec. 1 motivating number: how far the
+// prior-work model (isolated profiles, latency-only optimization)
+// mispredicts its own chosen schedule on AlexNet-sparse/Pixel, compared
+// with the interference-aware model's error on its own pick.
+type IntroClaimResult struct {
+	IsolatedSchedule  core.Schedule
+	IsolatedPredicted float64
+	IsolatedMeasured  float64
+	// IsolatedErrPct = (Measured-Predicted)/Predicted × 100. The paper
+	// reports +57% (measured slower than predicted); the sign depends on
+	// which quirk dominates the chosen schedule's bottleneck — on our
+	// simulated Pixel the GPU clock boost dominates, so the isolated
+	// model errs in the optimistic direction instead. The claim under
+	// test is the magnitude.
+	IsolatedErrPct float64
+	BTSchedule     core.Schedule
+	BTPredicted    float64
+	BTMeasured     float64
+	BTErrPct       float64
+	// The correlations over each strategy's top-K candidates are the
+	// robust version of the claim: the isolated model cannot rank
+	// schedules on this device, the interference-aware model can.
+	IsolatedPearson, BTPearson float64
+}
+
+// IntroClaim reproduces the introduction's misprediction measurement.
+func (s *Suite) IntroClaim() (IntroClaimResult, string, error) {
+	iso, err := s.accuracyFor("alexnet-sparse", soc.Pixel7a, sched.LatencyOnlyIsolated)
+	if err != nil {
+		return IntroClaimResult{}, "", err
+	}
+	bt, err := s.accuracyFor("alexnet-sparse", soc.Pixel7a, sched.BetterTogether)
+	if err != nil {
+		return IntroClaimResult{}, "", err
+	}
+	if len(iso.Predicted) == 0 || len(bt.Predicted) == 0 {
+		return IntroClaimResult{}, "", fmt.Errorf("experiments: no candidates")
+	}
+	res := IntroClaimResult{
+		IsolatedSchedule:  iso.Schedules[0],
+		IsolatedPredicted: iso.Predicted[0],
+		IsolatedMeasured:  iso.Measured[0],
+		BTSchedule:        bt.Schedules[0],
+		BTPredicted:       bt.Predicted[0],
+		BTMeasured:        bt.Measured[0],
+	}
+	res.IsolatedErrPct = (res.IsolatedMeasured - res.IsolatedPredicted) / res.IsolatedPredicted * 100
+	res.BTErrPct = (res.BTMeasured - res.BTPredicted) / res.BTPredicted * 100
+	res.IsolatedPearson = iso.Pearson
+	res.BTPearson = bt.Pearson
+	body := fmt.Sprintf(
+		"isolated model's own pick:  %s\n  predicted %.2f ms, measured %.2f ms -> %+.1f%% error; top-%d Pearson %.3f\n"+
+			"interference-aware pick:    %s\n  predicted %.2f ms, measured %.2f ms -> %+.1f%% error; top-%d Pearson %.3f\n",
+		res.IsolatedSchedule, res.IsolatedPredicted*1e3, res.IsolatedMeasured*1e3, res.IsolatedErrPct,
+		len(iso.Predicted), res.IsolatedPearson,
+		res.BTSchedule, res.BTPredicted*1e3, res.BTMeasured*1e3, res.BTErrPct,
+		len(bt.Predicted), res.BTPearson)
+	return res, report.Section("E0: intro claim — isolated-model misprediction", body), nil
+}

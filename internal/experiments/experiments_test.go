@@ -1,0 +1,554 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"bettertogether/internal/core"
+	"bettertogether/internal/soc"
+)
+
+// The suite caches profiling tables, so tests share one instance where
+// read-only and build fresh ones when checking determinism.
+
+func TestSuiteInventory(t *testing.T) {
+	s := NewSuite()
+	if len(s.Devices) != 4 || len(s.Apps) != 3 {
+		t.Fatalf("fleet = %d devices × %d apps", len(s.Devices), len(s.Apps))
+	}
+	if s.Table1() == "" || s.Table2() == "" {
+		t.Error("inventory tables empty")
+	}
+	if !strings.Contains(s.Table2(), "Pixel") {
+		t.Error("Table 2 missing devices")
+	}
+}
+
+func TestLabels(t *testing.T) {
+	if AppLabel("alexnet-dense") != "CIFAR-D" || AppLabel("octree-uniform") != "Tree" {
+		t.Error("app labels wrong")
+	}
+	if DeviceLabel(soc.Pixel7a) != "Google" {
+		t.Error("device labels wrong")
+	}
+	if AppLabel("other") != "other" || DeviceLabel("other") != "other" {
+		t.Error("unknown labels should pass through")
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	s := NewSuite()
+	res, body, err := s.Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body == "" || len(res.Seconds) != 3 {
+		t.Fatal("malformed result")
+	}
+	idx := func(pu core.PUClass) int {
+		for j, p := range res.PUs {
+			if p == pu {
+				return j
+			}
+		}
+		t.Fatalf("missing PU %s", pu)
+		return -1
+	}
+	big, gpu := idx(core.ClassBig), idx(core.ClassGPU)
+	// Paper Fig. 1: for sorting the GPU performs poorly; for the radix
+	// tree the GPU is fastest.
+	sort, tree := res.Seconds[0], res.Seconds[1]
+	if sort[gpu] <= sort[big] {
+		t.Errorf("sort: GPU %.3g !> big %.3g", sort[gpu], sort[big])
+	}
+	for j := range res.PUs {
+		if j != gpu && tree[gpu] >= tree[j] {
+			t.Errorf("radix-tree: GPU %.3g not fastest (vs %s %.3g)", tree[gpu], res.PUs[j], tree[j])
+		}
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	s := NewSuite()
+	res, body, err := s.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body == "" {
+		t.Fatal("empty report")
+	}
+	// Dense: the GPU wins on every device (paper Table 3, bold column).
+	for _, dev := range res.Devices {
+		c := res.Cell(dev, "alexnet-dense")
+		if c.GPU >= c.CPU {
+			t.Errorf("%s dense: GPU %.4g !< CPU %.4g", dev, c.GPU, c.CPU)
+		}
+	}
+	// Sparse: GPU wins or ties everywhere; the Pixel is the near-tie.
+	for _, dev := range res.Devices {
+		c := res.Cell(dev, "alexnet-sparse")
+		if c.GPU > c.CPU*1.05 {
+			t.Errorf("%s sparse: GPU %.4g not <= CPU %.4g", dev, c.GPU, c.CPU)
+		}
+	}
+	pixelSparse := res.Cell(soc.Pixel7a, "alexnet-sparse")
+	if r := pixelSparse.CPU / pixelSparse.GPU; r < 0.9 || r > 1.25 {
+		t.Errorf("pixel sparse CPU/GPU = %.2f, want near tie", r)
+	}
+	// Octree: CPU wins on the phones, GPU wins on both Jetsons — the
+	// crossover the paper highlights.
+	for _, dev := range []string{soc.Pixel7a, soc.OnePlus11} {
+		c := res.Cell(dev, "octree-uniform")
+		if c.CPU >= c.GPU {
+			t.Errorf("%s octree: CPU %.4g !< GPU %.4g", dev, c.CPU, c.GPU)
+		}
+	}
+	for _, dev := range []string{soc.Jetson, soc.JetsonLP} {
+		c := res.Cell(dev, "octree-uniform")
+		if c.GPU >= c.CPU {
+			t.Errorf("%s octree: GPU %.4g !< CPU %.4g", dev, c.GPU, c.CPU)
+		}
+	}
+	// Octree on mobile: CPU advantage should be a material factor
+	// (paper: 4.1x on Pixel, 3.7x on OnePlus).
+	if r := res.Cell(soc.Pixel7a, "octree-uniform"); r.GPU/r.CPU < 1.5 {
+		t.Errorf("pixel octree GPU/CPU = %.2f, want >= 1.5", r.GPU/r.CPU)
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	s := NewSuite()
+	res, _, body, err := s.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body == "" {
+		t.Fatal("empty report")
+	}
+	// Headline: positive geomean speedup, nearly all cells >= ~1 (the
+	// paper had exactly one slowdown out of 12).
+	if res.Geomean < 1.2 {
+		t.Errorf("geomean %.2f, want >= 1.2", res.Geomean)
+	}
+	slowdowns := 0
+	for di := range res.Devices {
+		for ai := range res.Apps {
+			if res.Speedup[di][ai] < 0.97 {
+				slowdowns++
+			}
+		}
+	}
+	if slowdowns > 1 {
+		t.Errorf("%d slowdown cells, paper allows at most 1", slowdowns)
+	}
+	// Ordering across devices: phones gain most, Jetson least (paper:
+	// Pixel 5.10x > OnePlus 3.55x > Jetson LP 1.15x >= Jetson 1.09x).
+	dev := map[string]float64{}
+	for di, dn := range res.Devices {
+		dev[dn] = res.PerDevice[di]
+	}
+	if dev[soc.Pixel7a] <= dev[soc.Jetson] || dev[soc.OnePlus11] <= dev[soc.Jetson] {
+		t.Errorf("mobile geomeans (%v, %v) should exceed Jetson (%v)",
+			dev[soc.Pixel7a], dev[soc.OnePlus11], dev[soc.Jetson])
+	}
+	// The maximum comes from an octree-on-phone cell, as in the paper.
+	maxDev, maxApp, maxV := "", "", 0.0
+	for di := range res.Devices {
+		for ai := range res.Apps {
+			if res.Speedup[di][ai] > maxV {
+				maxV = res.Speedup[di][ai]
+				maxDev, maxApp = res.Devices[di], res.Apps[ai]
+			}
+		}
+	}
+	if maxApp != "octree-uniform" || (maxDev != soc.Pixel7a && maxDev != soc.OnePlus11) {
+		t.Errorf("max speedup %.2f at %s/%s, expected octree on a phone", maxV, maxDev, maxApp)
+	}
+	// CPU-only aggregate exceeds GPU-only aggregate (paper: 11.23x vs
+	// 2.72x).
+	if res.GeomeanVsCPU <= res.GeomeanVsGPU {
+		t.Errorf("vsCPU %.2f should exceed vsGPU %.2f", res.GeomeanVsCPU, res.GeomeanVsGPU)
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	s := NewSuite()
+	res, body, err := s.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body == "" {
+		t.Fatal("empty report")
+	}
+	if len(res.BT.Predicted) == 0 || len(res.Isolated.Predicted) == 0 {
+		t.Fatal("empty candidate series")
+	}
+	// The interference-aware model must correlate far better than the
+	// isolated model on this combo (paper Fig. 5a vs 5c).
+	if res.BT.Pearson < 0.7 {
+		t.Errorf("BT Pearson %.3f, want >= 0.7", res.BT.Pearson)
+	}
+	if !(res.BT.Pearson > res.Isolated.Pearson) {
+		t.Errorf("BT %.3f !> isolated %.3f", res.BT.Pearson, res.Isolated.Pearson)
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	s := NewSuite()
+	res, body, err := s.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body == "" {
+		t.Fatal("empty report")
+	}
+	// Paper: BT mean 0.92; isolated clearly worse.
+	if res.BTAvg < 0.85 {
+		t.Errorf("BT mean correlation %.3f, want >= 0.85", res.BTAvg)
+	}
+	if res.BTAvg <= res.IsolatedAvg {
+		t.Errorf("BT mean %.3f !> isolated mean %.3f", res.BTAvg, res.IsolatedAvg)
+	}
+	// Per-cell: BT must never be materially worse than isolated.
+	for ai := range res.Apps {
+		for di := range res.Devices {
+			bt, iso := res.BT[ai][di], res.Isolated[ai][di]
+			if math.IsNaN(bt) {
+				t.Errorf("%s/%s: BT correlation undefined", res.Apps[ai], res.Devices[di])
+				continue
+			}
+			if !math.IsNaN(iso) && bt < iso-0.1 {
+				t.Errorf("%s/%s: BT %.3f well below isolated %.3f",
+					res.Apps[ai], res.Devices[di], bt, iso)
+			}
+			if bt < 0.5 {
+				t.Errorf("%s/%s: BT correlation %.3f too weak", res.Apps[ai], res.Devices[di], bt)
+			}
+		}
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	s := NewSuite()
+	res, body, err := s.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body == "" {
+		t.Fatal("empty report")
+	}
+	if len(res.Measured) == 0 || len(res.Measured) != len(res.Predicted) {
+		t.Fatal("malformed series")
+	}
+	// Predictions must be non-decreasing (ranked) and cluster into
+	// tiers: at least two candidates share a predicted latency within
+	// 1% (the paper's "performance tiers" observation).
+	tiered := false
+	for i := 1; i < len(res.Predicted); i++ {
+		if res.Predicted[i] < res.Predicted[i-1]*(1-1e-9) {
+			t.Error("predictions not ranked")
+		}
+		if res.Predicted[i] < res.Predicted[i-1]*1.01 {
+			tiered = true
+		}
+	}
+	if !tiered {
+		t.Error("no performance tiers among top candidates")
+	}
+	// Autotuning never loses: gain >= 1, and the best index minimizes
+	// the measured series.
+	if res.AutotuneGain < 1 {
+		t.Errorf("autotune gain %.3f < 1", res.AutotuneGain)
+	}
+	for i, m := range res.Measured {
+		if m < res.Measured[res.BestIndex] {
+			t.Errorf("BestIndex %d not minimal (candidate %d)", res.BestIndex, i)
+		}
+	}
+}
+
+func TestIntroClaimShape(t *testing.T) {
+	s := NewSuite()
+	res, body, err := s.IntroClaim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body == "" {
+		t.Fatal("empty report")
+	}
+	// The isolated model must mispredict materially (paper: 57%)...
+	if math.Abs(res.IsolatedErrPct) < 5 {
+		t.Errorf("isolated error %.1f%%, want a material misprediction", res.IsolatedErrPct)
+	}
+	// ...and be far worse at *ranking* than the interference-aware model.
+	if !(res.BTPearson > res.IsolatedPearson+0.2) {
+		t.Errorf("BT Pearson %.3f should dominate isolated %.3f", res.BTPearson, res.IsolatedPearson)
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	s := NewSuite()
+	res, body, err := s.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body == "" {
+		t.Fatal("empty report")
+	}
+	pixel := res.Ratios[soc.Pixel7a]
+	oneplus := res.Ratios[soc.OnePlus11]
+	jetson := res.Ratios[soc.Jetson]
+	lp := res.Ratios[soc.JetsonLP]
+	// Directions per paper Fig. 7.
+	for _, c := range []core.PUClass{core.ClassBig, core.ClassMedium, core.ClassLittle} {
+		if pixel[c] <= 1 {
+			t.Errorf("pixel %s ratio %.2f, want slowdown", c, pixel[c])
+		}
+	}
+	if pixel[core.ClassGPU] >= 1 {
+		t.Errorf("pixel gpu ratio %.2f, want speedup", pixel[core.ClassGPU])
+	}
+	if oneplus[core.ClassLittle] >= 1 || oneplus[core.ClassGPU] >= 1 {
+		t.Errorf("oneplus little/gpu ratios %.2f/%.2f, want speedups",
+			oneplus[core.ClassLittle], oneplus[core.ClassGPU])
+	}
+	if oneplus[core.ClassBig] <= 1 {
+		t.Errorf("oneplus big ratio %.2f, want slowdown", oneplus[core.ClassBig])
+	}
+	for name, r := range map[string]map[core.PUClass]float64{"jetson": jetson, "jetson-lp": lp} {
+		for c, v := range r {
+			if v <= 1 {
+				t.Errorf("%s %s ratio %.2f, want slowdown", name, c, v)
+			}
+		}
+	}
+	// LP-mode GPU suffers more than normal-mode GPU (paper: 1.74 vs 1.19).
+	if lp[core.ClassGPU] <= jetson[core.ClassGPU] {
+		t.Errorf("LP gpu ratio %.2f should exceed normal %.2f",
+			lp[core.ClassGPU], jetson[core.ClassGPU])
+	}
+	// Stage-level effect on the Pixel is material (paper: up to 2.25x).
+	if res.MaxStage.Ratio < 1.3 {
+		t.Errorf("max stage ratio %.2f, want >= 1.3", res.MaxStage.Ratio)
+	}
+}
+
+func TestSuiteDeterminism(t *testing.T) {
+	a, _, _, err := NewSuite().Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, _, err := NewSuite().Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for di := range a.Speedup {
+		for ai := range a.Speedup[di] {
+			if a.Speedup[di][ai] != b.Speedup[di][ai] {
+				t.Fatalf("Fig4 not reproducible at [%d][%d]", di, ai)
+			}
+		}
+	}
+}
+
+func TestTablesCached(t *testing.T) {
+	s := NewSuite()
+	app := s.Apps[0]
+	dev := s.Devices[0]
+	t1 := s.Tables(app, dev)
+	t2 := s.Tables(app, dev)
+	if t1.Heavy != t2.Heavy {
+		t.Error("tables not cached")
+	}
+}
+
+func TestLookupErrors(t *testing.T) {
+	s := NewSuite()
+	if _, err := s.AppByName("nope"); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if _, err := s.DeviceByName("nope"); err == nil {
+		t.Error("unknown device accepted")
+	}
+}
+
+func TestAblationDataParallel(t *testing.T) {
+	s := NewSuite()
+	res, body, err := s.AblationDataParallel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body == "" {
+		t.Fatal("empty report")
+	}
+	// Pipelining must win in aggregate (the Sec. 1 argument), and must
+	// win specifically on the mixed-pattern octree workload on every
+	// device, where stage-to-PU affinity matters most.
+	if res.GeomeanDPOverBT <= 1.0 {
+		t.Errorf("DP/BT geomean %.2f, want > 1", res.GeomeanDPOverBT)
+	}
+	treeIdx := -1
+	for ai, a := range res.Apps {
+		if a == "octree-uniform" {
+			treeIdx = ai
+		}
+	}
+	for di := range res.Devices {
+		if res.DP[di][treeIdx] <= res.BT[di][treeIdx] {
+			t.Errorf("%s tree: DP %.4g !> BT %.4g", res.Devices[di],
+				res.DP[di][treeIdx], res.BT[di][treeIdx])
+		}
+	}
+}
+
+func TestAblationK(t *testing.T) {
+	s := NewSuite()
+	res, body, err := s.AblationK()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body == "" || len(res.K) == 0 {
+		t.Fatal("empty result")
+	}
+	// Larger pools can only help (autotuning picks the min over a
+	// superset) up to measurement noise on the shared seed.
+	for i := 1; i < len(res.K); i++ {
+		if res.Measured[i] > res.Measured[i-1]*1.0001 {
+			t.Errorf("K=%d measured %.4g worse than K=%d %.4g",
+				res.K[i], res.Measured[i], res.K[i-1], res.Measured[i-1])
+		}
+	}
+}
+
+func TestAblationBuffers(t *testing.T) {
+	s := NewSuite()
+	res, body, err := s.AblationBuffers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body == "" {
+		t.Fatal("empty report")
+	}
+	// Depth 1 serializes the chunks; enough buffers must recover a
+	// material pipelining speedup on a multi-chunk schedule.
+	chunks := len(res.Schedule.Chunks())
+	if chunks < 2 {
+		t.Skip("top schedule not pipelined")
+	}
+	last := res.PerTask[len(res.PerTask)-1]
+	if sp := res.PerTask[0] / last; sp < 1.5 {
+		t.Errorf("multi-buffering speedup %.2f, want >= 1.5", sp)
+	}
+	// Saturation: beyond chunks+1 buffers, throughput stops improving
+	// materially.
+	var atSat float64
+	for i, b := range res.Buffers {
+		if b >= chunks+1 {
+			atSat = res.PerTask[i]
+			break
+		}
+	}
+	if atSat > 0 && last < atSat*0.95 {
+		t.Errorf("throughput still improving well past saturation depth")
+	}
+}
+
+func TestAblationReps(t *testing.T) {
+	s := NewSuite()
+	res, body, err := s.AblationReps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body == "" || len(res.Reps) != 4 {
+		t.Fatal("empty result")
+	}
+	for i, r := range res.Pearson {
+		if math.IsNaN(r) || r < 0.5 {
+			t.Errorf("reps=%d Pearson %.3f unusable", res.Reps[i], r)
+		}
+	}
+}
+
+func TestExtEnergy(t *testing.T) {
+	s := NewSuite()
+	res, body, err := s.ExtEnergy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body == "" {
+		t.Fatal("empty report")
+	}
+	for di := range res.Devices {
+		for ai := range res.Apps {
+			for _, v := range []float64{res.BTJ[di][ai], res.CPUJ[di][ai], res.GPUJ[di][ai]} {
+				if v <= 0 {
+					t.Fatalf("%s/%s: non-positive energy", res.Devices[di], res.Apps[ai])
+				}
+			}
+		}
+	}
+	// Structural claims: on the Jetsons the BT schedule converges to the
+	// homogeneous optimum for the CNNs (same energy); on dense AlexNet
+	// the GPU is both faster and vastly more efficient than the CPU.
+	for di, d := range res.Devices {
+		for ai, a := range res.Apps {
+			if a == "alexnet-dense" && res.GPUJ[di][ai] >= res.CPUJ[di][ai] {
+				t.Errorf("%s dense: GPU energy %.4g !< CPU %.4g", d, res.GPUJ[di][ai], res.CPUJ[di][ai])
+			}
+		}
+	}
+	// The headline tradeoff: the geomean ratio must be a sane number,
+	// and BT must never burn more than ~3x the best baseline anywhere
+	// (it buys latency with bounded energy cost).
+	if res.GeomeanSavingsVsBest <= 0.3 || res.GeomeanSavingsVsBest > 3 {
+		t.Errorf("geomean energy ratio %.2f implausible", res.GeomeanSavingsVsBest)
+	}
+}
+
+func TestAblationSlack(t *testing.T) {
+	s := NewSuite()
+	res, body, err := s.AblationSlack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body == "" || len(res.Slack) != 5 {
+		t.Fatal("empty result")
+	}
+	// Tighter slack can only shrink the pool.
+	for i := 1; i < len(res.Slack); i++ {
+		if res.PoolSize[i] < res.PoolSize[i-1] {
+			t.Errorf("pool shrank as slack grew: %v", res.PoolSize)
+		}
+	}
+	// Over-constraining (slack 0.05) must cost real latency versus the
+	// default (0.4): the filter needs room to admit fast-but-imbalanced
+	// schedules it can then autotune.
+	if res.BestMs[0] <= res.BestMs[2] {
+		t.Errorf("tightest slack %.4g did not cost latency vs default %.4g",
+			res.BestMs[0], res.BestMs[2])
+	}
+}
+
+func TestExtVision(t *testing.T) {
+	s := NewSuite()
+	res, body, err := s.ExtVision()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body == "" || len(res.Devices) != 4 {
+		t.Fatal("malformed result")
+	}
+	for i := range res.Devices {
+		if res.BT[i] <= 0 || res.CPU[i] <= 0 || res.GPU[i] <= 0 {
+			t.Fatalf("%s: non-positive latency", res.Devices[i])
+		}
+		// The specialized schedule never loses to both baselines.
+		if res.Speedup[i] < 0.97 {
+			t.Errorf("%s: vision speedup %.2f, BT lost to a baseline", res.Devices[i], res.Speedup[i])
+		}
+	}
+	if res.Geomean < 1.0 {
+		t.Errorf("vision geomean %.2f < 1", res.Geomean)
+	}
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bettertogether/internal/core"
+	"bettertogether/internal/report"
+	"bettertogether/internal/soc"
+)
+
+// Fig1Stages are the three octree stages the paper's motivating figure
+// shows: the GPU is poor at sorting, best at building the radix tree,
+// and comparable to the big/medium CPUs at octree construction.
+var Fig1Stages = []string{"sort", "radix-tree", "build-octree"}
+
+// Fig1Result holds the per-stage, per-PU latencies on the Pixel.
+type Fig1Result struct {
+	Stages  []string
+	PUs     []core.PUClass
+	Seconds [][]float64 // [stage][pu]
+}
+
+// Fig1 reproduces the motivating experiment: three octree pipeline
+// stages profiled across the Google Pixel's four PU classes.
+func (s *Suite) Fig1() (Fig1Result, string, error) {
+	app, err := s.AppByName("octree-uniform")
+	if err != nil {
+		return Fig1Result{}, "", err
+	}
+	dev, err := s.DeviceByName(soc.Pixel7a)
+	if err != nil {
+		return Fig1Result{}, "", err
+	}
+	tab := s.Tables(app, dev).Isolated
+
+	res := Fig1Result{Stages: Fig1Stages, PUs: tab.PUs}
+	stageIdx := map[string]int{}
+	for i, n := range tab.Stages {
+		stageIdx[n] = i
+	}
+	var body string
+	for _, name := range Fig1Stages {
+		i, ok := stageIdx[name]
+		if !ok {
+			return Fig1Result{}, "", fmt.Errorf("experiments: stage %q missing", name)
+		}
+		row := make([]float64, len(tab.PUs))
+		chart := report.NewBarChart(fmt.Sprintf("stage %q latency (ms) per PU", name), 40)
+		for j, pu := range tab.PUs {
+			row[j] = tab.Latency[i][j]
+			chart.Add(string(pu), row[j]*1e3)
+		}
+		res.Seconds = append(res.Seconds, row)
+		body += chart.Render() + "\n"
+	}
+	return res, report.Section("Fig 1: octree stage latency across Pixel PUs", body), nil
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bettertogether/internal/core"
+	"bettertogether/internal/profiler"
+	"bettertogether/internal/report"
+	"bettertogether/internal/stats"
+)
+
+// Fig7Result holds the interference-heavy / isolated latency ratios per
+// device and PU class, averaged over the three applications.
+type Fig7Result struct {
+	Devices []string
+	// Ratios[device][pu] is the mean heavy/isolated latency ratio.
+	Ratios map[string]map[core.PUClass]float64
+	// MaxStage reports the largest single-stage ratio seen on the Pixel,
+	// corresponding to the paper's "up to 2.25x" observation (Sec. 3.2).
+	MaxStage struct {
+		App   string
+		Stage string
+		PU    core.PUClass
+		Ratio float64
+	}
+}
+
+// Fig7 reproduces the interference-impact figure: profile every app on
+// every device in both modes and average the per-PU ratios.
+func (s *Suite) Fig7() (Fig7Result, string, error) {
+	res := Fig7Result{Ratios: map[string]map[core.PUClass]float64{}}
+	var body string
+	for _, dev := range s.Devices {
+		res.Devices = append(res.Devices, dev.Name)
+		perPU := map[core.PUClass][]float64{}
+		for _, app := range s.Apps {
+			tabs := s.Tables(app, dev)
+			for pu, r := range profiler.InterferenceRatios(tabs) {
+				perPU[pu] = append(perPU[pu], r)
+			}
+			if dev.Name == "pixel7a" {
+				stage, pu, ratio := profiler.MaxStageRatio(tabs)
+				if ratio > res.MaxStage.Ratio {
+					res.MaxStage.App = app.Name
+					res.MaxStage.Stage = stage
+					res.MaxStage.PU = pu
+					res.MaxStage.Ratio = ratio
+				}
+			}
+		}
+		agg := map[core.PUClass]float64{}
+		t := report.NewTable(fmt.Sprintf("%s: heavy/isolated latency ratio per PU", DeviceLabel(dev.Name)),
+			"PU", "Ratio", "Direction")
+		for _, pu := range dev.Classes() {
+			r := stats.Mean(perPU[pu])
+			agg[pu] = r
+			dir := "~ neutral"
+			if r > 1.05 {
+				dir = "slowdown under contention"
+			} else if r < 0.95 {
+				dir = "SPEEDUP under contention"
+			}
+			t.AddRow(string(pu), report.F2(r), dir)
+		}
+		res.Ratios[dev.Name] = agg
+		body += t.Render() + "\n"
+	}
+	body += fmt.Sprintf("largest single-stage ratio on Pixel: %.2fx (%s/%s on %s)\n",
+		res.MaxStage.Ratio, res.MaxStage.App, res.MaxStage.Stage, res.MaxStage.PU)
+	return res, report.Section("Fig 7: impact of interference", body), nil
+}

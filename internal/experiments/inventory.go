@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bettertogether/internal/core"
+	"bettertogether/internal/report"
+)
+
+// Table1 renders the application-characteristics inventory (paper
+// Table 1).
+func (s *Suite) Table1() string {
+	char := map[string]string{
+		"alexnet-dense":  "Dense Linear Algebra",
+		"alexnet-sparse": "Sparse Linear Algebra",
+		"octree-uniform": "Mixed Sparse & Dense",
+	}
+	input := map[string]string{
+		"alexnet-dense":  "Image",
+		"alexnet-sparse": "Image",
+		"octree-uniform": "PC",
+	}
+	t := report.NewTable("Table 1: characteristics of evaluated applications",
+		"Application", "Input", "Stages", "Characteristics")
+	for _, app := range s.Apps {
+		t.AddRow(AppLabel(app.Name), input[app.Name],
+			fmt.Sprintf("%d", len(app.Stages)), char[app.Name])
+	}
+	return t.Render()
+}
+
+// Table2 renders the hardware inventory of the simulated fleet (paper
+// Table 2).
+func (s *Suite) Table2() string {
+	t := report.NewTable("Table 2: hardware specifications of tested edge platforms",
+		"Device", "PU class", "Kind", "Cores", "GHz", "Core IDs")
+	for _, d := range s.Devices {
+		first := true
+		for i := range d.PUs {
+			pu := &d.PUs[i]
+			name := ""
+			if first {
+				name = d.Label
+				first = false
+			}
+			ids := "-"
+			if pu.Kind == core.KindCPU {
+				ids = fmt.Sprint(pu.CoreIDs)
+			}
+			t.AddRow(name, string(pu.Class), pu.Kind.String(),
+				fmt.Sprintf("%d", pu.Cores), fmt.Sprintf("%.3g", pu.BaseGHz), ids)
+		}
+	}
+	return t.Render()
+}

@@ -1,0 +1,144 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sec. 5) on the simulated device fleet. Each experiment
+// returns a structured result (consumed by tests and EXPERIMENTS.md) plus
+// a rendered report. The per-experiment index lives in DESIGN.md.
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"bettertogether/internal/apps/alexnet"
+	"bettertogether/internal/apps/octree"
+	"bettertogether/internal/core"
+	"bettertogether/internal/pipeline"
+	"bettertogether/internal/profiler"
+	"bettertogether/internal/soc"
+)
+
+// Paper-style display labels (Fig. 6 uses CIFAR-D/CIFAR-S/Tree).
+var appLabels = map[string]string{
+	"alexnet-dense":  "CIFAR-D",
+	"alexnet-sparse": "CIFAR-S",
+	"octree-uniform": "Tree",
+}
+
+// deviceLabels are the column labels of the heatmaps.
+var deviceLabels = map[string]string{
+	soc.Pixel7a:   "Google",
+	soc.OnePlus11: "OnePlus",
+	soc.Jetson:    "Jetson",
+	soc.JetsonLP:  "Jetson (LP)",
+}
+
+// Suite owns the evaluation fleet and caches profiling runs, which are
+// shared across experiments exactly as the paper reuses one profiling
+// table per app-device pair.
+type Suite struct {
+	Devices []*soc.Device
+	Apps    []*core.Application
+	// ProfCfg configures every profiling run.
+	ProfCfg profiler.Config
+	// Tasks and Warmup configure every measured execution; the paper
+	// measures 30 tasks per run after warmup.
+	Tasks, Warmup int
+
+	tables map[string]profiler.Tables
+}
+
+// NewSuite assembles the paper's 3 applications × 4 devices.
+func NewSuite() *Suite {
+	return &Suite{
+		Devices: soc.Catalog(),
+		Apps: []*core.Application{
+			alexnet.NewDense(alexnet.DefaultSeed, 1),
+			alexnet.NewSparse(alexnet.DefaultSeed, alexnet.DefaultSparseBatch),
+			octree.NewApplication(octree.DefaultPoints, octree.UniformGen{}),
+		},
+		ProfCfg: profiler.Config{Reps: profiler.DefaultReps, Seed: 9000},
+		Tasks:   30,
+		Warmup:  5,
+	}
+}
+
+// AppLabel returns the paper-style label for an application name.
+func AppLabel(name string) string {
+	if l, ok := appLabels[name]; ok {
+		return l
+	}
+	return name
+}
+
+// DeviceLabel returns the paper-style label for a device name.
+func DeviceLabel(name string) string {
+	if l, ok := deviceLabels[name]; ok {
+		return l
+	}
+	return name
+}
+
+// seedFor derives a stable per-purpose seed from identifying strings.
+func seedFor(parts ...string) int64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		_, _ = h.Write([]byte(p))
+		_, _ = h.Write([]byte{0})
+	}
+	return int64(h.Sum64() & 0x7fffffffffffffff)
+}
+
+// Tables returns (and caches) both profiling tables for a combo.
+func (s *Suite) Tables(app *core.Application, dev *soc.Device) profiler.Tables {
+	if s.tables == nil {
+		s.tables = make(map[string]profiler.Tables)
+	}
+	key := app.Name + "@" + dev.Name
+	if t, ok := s.tables[key]; ok {
+		return t
+	}
+	cfg := s.ProfCfg
+	cfg.Seed = s.ProfCfg.Seed + seedFor("profile", key)%100000
+	t := profiler.ProfileBoth(app, dev, cfg)
+	s.tables[key] = t
+	return t
+}
+
+// runOpts builds deterministic execution options for a combo and purpose.
+func (s *Suite) runOpts(purpose string, app *core.Application, dev *soc.Device, extra string) pipeline.Options {
+	return pipeline.Options{
+		Tasks:  s.Tasks,
+		Warmup: s.Warmup,
+		Seed:   seedFor(purpose, app.Name, dev.Name, extra),
+	}
+}
+
+// Measure executes a schedule on a combo and returns the per-task
+// latency in seconds.
+func (s *Suite) Measure(app *core.Application, dev *soc.Device, sch core.Schedule, purpose string) (float64, error) {
+	plan, err := pipeline.NewPlan(app, dev, sch)
+	if err != nil {
+		return 0, fmt.Errorf("experiments: %s on %s: %w", app.Name, dev.Name, err)
+	}
+	r := pipeline.Simulate(plan, s.runOpts(purpose, app, dev, sch.Key()))
+	return r.PerTask, nil
+}
+
+// AppByName returns the suite application with the given name.
+func (s *Suite) AppByName(name string) (*core.Application, error) {
+	for _, a := range s.Apps {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown app %q", name)
+}
+
+// DeviceByName returns the suite device with the given name.
+func (s *Suite) DeviceByName(name string) (*soc.Device, error) {
+	for _, d := range s.Devices {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown device %q", name)
+}

@@ -1,0 +1,137 @@
+// Package pipeline is the BT-Implementer (paper Sec. 3.4): it executes a
+// pipeline schedule on a target device, managing dispatchers, lock-free
+// SPSC queues, TaskObject multi-buffering and recycling.
+//
+// Two engines share one compiled Plan:
+//
+//   - The Real engine runs the application's actual Go kernels on worker
+//     pools sized like the device's PU classes, through exactly the
+//     dispatcher loop the paper describes. It validates functional
+//     behaviour and is what the examples drive.
+//   - The Sim engine replays the same schedule on the discrete-event
+//     simulator with the SoC model's interference-aware service times. It
+//     produces the paper's "measured" numbers deterministically and is
+//     what every experiment uses.
+package pipeline
+
+import (
+	"fmt"
+
+	"bettertogether/internal/core"
+	"bettertogether/internal/soc"
+	"bettertogether/internal/trace"
+)
+
+// Plan is a schedule compiled against an application and a device, ready
+// for either engine.
+type Plan struct {
+	App      *core.Application
+	Device   *soc.Device
+	Schedule core.Schedule
+	Chunks   []core.Chunk
+}
+
+// NewPlan validates and compiles a schedule.
+func NewPlan(app *core.Application, dev *soc.Device, s core.Schedule) (*Plan, error) {
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	if err := dev.Validate(); err != nil {
+		return nil, err
+	}
+	if err := s.Validate(len(app.Stages), dev.Classes()); err != nil {
+		return nil, err
+	}
+	return &Plan{App: app, Device: dev, Schedule: s, Chunks: s.Chunks()}, nil
+}
+
+// Backend returns the kernel backend of chunk i.
+func (p *Plan) Backend(i int) core.Backend {
+	return p.Device.PU(p.Chunks[i].PU).Kind.Backend()
+}
+
+// Options configure an execution run.
+type Options struct {
+	// Tasks is the number of stream tasks to process after warmup.
+	// The paper's runs use 30 (Sec. 4).
+	Tasks int
+	// Warmup tasks are executed and excluded from metrics, as the paper
+	// excludes GPU initialization and pipeline fill.
+	Warmup int
+	// Buffers is the TaskObject multi-buffering depth; 0 means
+	// chunks+1, the minimum that keeps every chunk busy.
+	Buffers int
+	// Seed drives measurement noise in the Sim engine.
+	Seed int64
+	// Trace, when non-nil, receives one span per stage execution
+	// (chunk, PU, stage, task, start/end) — virtual seconds from the
+	// Sim engine, wall seconds from the Real engine.
+	Trace *trace.Timeline
+}
+
+// withDefaults fills derived option values for a plan.
+func (o Options) withDefaults(p *Plan) Options {
+	if o.Tasks <= 0 {
+		o.Tasks = 30
+	}
+	if o.Warmup < 0 {
+		o.Warmup = 0
+	}
+	if o.Buffers <= 0 {
+		o.Buffers = len(p.Chunks) + 1
+	}
+	return o
+}
+
+// Result reports one execution run.
+type Result struct {
+	// Completions are per-task completion timestamps in seconds (virtual
+	// for Sim, wall for Real), warmup excluded.
+	Completions []float64
+	// Elapsed is the span from first measured dispatch to last
+	// completion.
+	Elapsed float64
+	// PerTask is the steady-state per-task latency: the mean
+	// inter-completion period, the throughput-side quantity the paper
+	// reports as pipeline latency.
+	PerTask float64
+	// ChunkBusy[i] is the fraction of the run chunk i spent executing —
+	// the utilization view behind the gapness objective (Sim only).
+	ChunkBusy []float64
+	// EnergyJ is the total device energy over the whole run in joules,
+	// integrating per-PU busy power at the governed clock, idle power,
+	// and uncore draw (Sim only; see soc.Device.Power).
+	EnergyJ float64
+	// EnergyPerTaskJ is EnergyJ divided by every task processed
+	// (including warmup, which also burned energy).
+	EnergyPerTaskJ float64
+	// AvgWatts is the mean device power over the run (Sim only).
+	AvgWatts float64
+	// Err is set by the Real engine when a kernel panicked; the pipeline
+	// shuts down cleanly instead of deadlocking and reports what
+	// happened here.
+	Err error
+}
+
+// finalize computes derived metrics from completion timestamps. busy
+// entries are already fractions of the run.
+func finalize(completions []float64, start float64, busy []float64) Result {
+	r := Result{Completions: completions, ChunkBusy: busy}
+	if len(completions) == 0 {
+		return r
+	}
+	last := completions[len(completions)-1]
+	r.Elapsed = last - start
+	if len(completions) > 1 {
+		r.PerTask = (last - completions[0]) / float64(len(completions)-1)
+	} else {
+		r.PerTask = r.Elapsed
+	}
+	return r
+}
+
+// String summarizes the result.
+func (r Result) String() string {
+	return fmt.Sprintf("tasks=%d perTask=%.3fms elapsed=%.3fms",
+		len(r.Completions), r.PerTask*1e3, r.Elapsed*1e3)
+}

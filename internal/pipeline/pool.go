@@ -1,0 +1,77 @@
+package pipeline
+
+import (
+	"sync"
+
+	"bettertogether/internal/core"
+)
+
+// workerPool is the stand-in for a pinned OpenMP thread pool (CPU
+// classes) or a SIMT dispatch grid (the GPU class): a fixed set of
+// long-lived workers that one chunk's kernels fan work onto. Pool width
+// matches the PU's core count, which is what thread affinity buys the
+// paper — a fixed, dedicated set of execution lanes per class.
+type workerPool struct {
+	width int
+	work  chan func()
+	wg    sync.WaitGroup
+}
+
+// newWorkerPool starts width workers.
+func newWorkerPool(width int) *workerPool {
+	if width < 1 {
+		width = 1
+	}
+	p := &workerPool{width: width, work: make(chan func())}
+	p.wg.Add(width)
+	for i := 0; i < width; i++ {
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.work {
+				fn()
+			}
+		}()
+	}
+	return p
+}
+
+// ParFor implements core.ParallelFor on the pool: it splits [0, n) into
+// one contiguous band per worker and blocks until all bands finish — the
+// implicit barrier of an OpenMP `parallel for` or a stream-synchronized
+// kernel launch.
+func (p *workerPool) ParFor(n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	bands := p.width
+	if bands > n {
+		bands = n
+	}
+	if bands == 1 {
+		// Run inline: a one-core cluster has no one to hand off to.
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < bands; w++ {
+		lo := w * n / bands
+		hi := (w + 1) * n / bands
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		p.work <- func() {
+			defer wg.Done()
+			body(lo, hi)
+		}
+	}
+	wg.Wait()
+}
+
+// Close stops the workers after in-flight work drains.
+func (p *workerPool) Close() {
+	close(p.work)
+	p.wg.Wait()
+}
+
+var _ = core.ParallelFor(nil) // keep the contract import explicit

@@ -1,0 +1,176 @@
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"bettertogether/internal/core"
+	"bettertogether/internal/trace"
+)
+
+// gpuPoolWidth is the worker width of the simulated-SIMT GPU executor in
+// the real engine. Real kernels are CPU-bound Go code here, so the width
+// models "many lanes" without oversubscribing the host.
+const gpuPoolWidth = 8
+
+// Execute runs the plan's actual kernels concurrently: one long-lived
+// dispatcher goroutine per chunk, SPSC queues between chunks, TaskObjects
+// recycled through the closing edge of the ring (paper Sec. 3.4). Wall
+// times are host times — useful for functional validation and relative
+// comparison, not for reproducing device numbers (that is Simulate's
+// job).
+func Execute(p *Plan, opts Options) Result {
+	opts = opts.withDefaults(p)
+	total := opts.Warmup + opts.Tasks
+
+	// One worker pool per PU class used, sized like the cluster.
+	pools := make(map[core.PUClass]*workerPool, len(p.Chunks))
+	for _, c := range p.Chunks {
+		if _, ok := pools[c.PU]; ok {
+			continue
+		}
+		pu := p.Device.PU(c.PU)
+		width := pu.Cores
+		if pu.Kind == core.KindGPU {
+			width = gpuPoolWidth
+		}
+		pools[c.PU] = newWorkerPool(width)
+	}
+	defer func() {
+		for _, pool := range pools {
+			pool.Close()
+		}
+	}()
+
+	ring := newTaskRing(len(p.Chunks), opts.Buffers)
+
+	// Multi-buffering: pre-allocate the in-flight TaskObjects and prime
+	// the first queue.
+	nbuf := opts.Buffers
+	if nbuf > total {
+		nbuf = total
+	}
+	objs := make([]*core.TaskObject, nbuf)
+	for i := range objs {
+		objs[i] = p.App.NewTask()
+		objs[i].Reset(i)
+	}
+	ring.Prime(objs)
+
+	var (
+		mu          sync.Mutex
+		completions []float64
+		start       = time.Now()
+		measureFrom time.Time
+		issued      = nbuf
+		runErr      error
+		spans       = make([][]trace.Span, len(p.Chunks))
+	)
+	if opts.Warmup == 0 {
+		measureFrom = start
+	}
+	fail := func(err error) {
+		mu.Lock()
+		if runErr == nil {
+			runErr = err
+		}
+		mu.Unlock()
+		ring.Close()
+	}
+
+	var wg sync.WaitGroup
+	for ci := range p.Chunks {
+		ci := ci
+		chunk := p.Chunks[ci]
+		backend := p.Backend(ci)
+		pool := pools[chunk.PU]
+		last := ci == len(p.Chunks)-1
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// A panicking kernel must not deadlock the ring: shut the
+			// pipeline down and surface the failure in Result.Err.
+			defer func() {
+				if r := recover(); r != nil {
+					fail(fmt.Errorf("pipeline: chunk %d (%s) kernel panicked: %v",
+						ci, chunk.PU, r))
+				}
+			}()
+			in, out := ring.In(ci), ring.Out(ci)
+			for {
+				// Step 1: pop the next TaskObject.
+				task, ok := in.Pop()
+				if !ok {
+					return
+				}
+				// Step 2: make the chunk's buffers coherent for this PU.
+				task.AcquireAll(backend)
+				// Step 3: dispatch the chunk's kernels in order; ParFor's
+				// barrier is step 4's yield-until-complete.
+				for s := chunk.Start; s < chunk.End; s++ {
+					t0 := time.Now()
+					p.App.Stages[s].Kernel(backend)(task, pool.ParFor)
+					if opts.Trace != nil {
+						spans[ci] = append(spans[ci], trace.Span{
+							Chunk: ci, PU: chunk.PU,
+							Stage: p.App.Stages[s].Name, StageIndex: s,
+							Task:  task.Seq,
+							Start: t0.Sub(start).Seconds(),
+							End:   time.Since(start).Seconds(),
+						})
+					}
+				}
+				task.ReleaseAll(backend)
+				if last {
+					seq := task.Seq
+					now := time.Now()
+					mu.Lock()
+					if seq == opts.Warmup-1 {
+						measureFrom = now
+					}
+					if seq >= opts.Warmup {
+						completions = append(completions, now.Sub(start).Seconds())
+					}
+					done := seq == total-1
+					var next int
+					reissue := issued < total
+					if reissue {
+						next = issued
+						issued++
+					}
+					mu.Unlock()
+					if done {
+						ring.Close()
+						return
+					}
+					if reissue {
+						// Step 5 + recycling: reset for the next stream
+						// input and push back to the first queue.
+						task.Reset(next)
+						out.Push(task)
+					}
+				} else {
+					// Step 5: hand the task to the next chunk.
+					out.Push(task)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	startSec := 0.0
+	if !measureFrom.IsZero() {
+		startSec = measureFrom.Sub(start).Seconds()
+	}
+	if opts.Trace != nil {
+		for _, ss := range spans {
+			for _, sp := range ss {
+				opts.Trace.Add(sp)
+			}
+		}
+	}
+	r := finalize(completions, startSec, nil)
+	r.Err = runErr
+	return r
+}

@@ -1,0 +1,18 @@
+package pipeline
+
+import (
+	"bettertogether/internal/core"
+	"bettertogether/internal/queue"
+)
+
+// taskRing adapts queue.Ring to TaskObject pointers — the closed cycle of
+// SPSC edges the dispatchers communicate over, including the recycling
+// edge from the last chunk back to the first.
+type taskRing struct {
+	*queue.Ring[*core.TaskObject]
+}
+
+// newTaskRing builds the ring with edge capacity for the buffering depth.
+func newTaskRing(chunks, buffers int) taskRing {
+	return taskRing{queue.NewRing[*core.TaskObject](chunks, buffers+1)}
+}

@@ -1,0 +1,242 @@
+package pipeline
+
+import (
+	"math"
+	"math/rand"
+
+	"bettertogether/internal/core"
+	"bettertogether/internal/des"
+	"bettertogether/internal/soc"
+	"bettertogether/internal/trace"
+)
+
+// simChunk is one pipeline station in the discrete-event execution.
+type simChunk struct {
+	idx    int
+	pu     core.PUClass
+	stages []int // stage indices of the chunk
+	queue  []int // waiting task seqs, FIFO
+	busy   bool
+
+	// Current execution state.
+	task     int
+	stagePos int
+	// noise is the per-stage multiplicative measurement/noise factor,
+	// drawn once at stage start.
+	noise float64
+	// remaining is the unfinished fraction of the current stage (1 → 0).
+	remaining float64
+	// rate is the current progress rate in fractions/second under the
+	// present interference environment.
+	rate float64
+	// lastUpdate is when remaining was last integrated.
+	lastUpdate float64
+	// stageStart is when the current stage was dispatched (for tracing).
+	stageStart float64
+	// version invalidates stale completion events after re-scheduling.
+	version int64
+
+	busySince float64
+	busyTotal float64
+	// mult is the current governed clock multiplier (for energy
+	// integration); energyJ accumulates the chunk's busy energy.
+	mult    float64
+	energyJ float64
+	// load is the memory intensity of the running stage, published to
+	// other chunks' environments.
+	load soc.Load
+}
+
+// Simulate executes the plan on the discrete-event simulator. Stage
+// progress integrates over the *actual* interference environment: each
+// chunk's execution rate is re-evaluated from the SoC model every time
+// any other chunk starts or stops executing. Unbalanced schedules
+// therefore run partly isolated and partly contended — the exact effect
+// that makes isolated profiling tables mispredict (Sec. 5.3) and that the
+// gapness objective guards against.
+func Simulate(p *Plan, opts Options) Result {
+	opts = opts.withDefaults(p)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	eng := des.New()
+
+	chunks := make([]*simChunk, len(p.Chunks))
+	for i, c := range p.Chunks {
+		sc := &simChunk{idx: i, pu: c.PU}
+		for s := c.Start; s < c.End; s++ {
+			sc.stages = append(sc.stages, s)
+		}
+		chunks[i] = sc
+	}
+
+	total := opts.Warmup + opts.Tasks
+	issued := 0
+	var completions []float64
+	var measureStart float64
+
+	env := func(me int) soc.Env {
+		e := soc.Env{}
+		for _, c := range chunks {
+			if c.idx != me && c.busy {
+				e[c.pu] = c.load
+			}
+		}
+		return e
+	}
+
+	var tryStart func(c *simChunk)
+	var finishStage func(c *simChunk)
+
+	// integrate advances c's progress — and its energy — to the current
+	// time.
+	integrate := func(c *simChunk) {
+		now := eng.Now()
+		dt := now - c.lastUpdate
+		c.remaining -= dt * c.rate
+		if c.remaining < 0 {
+			c.remaining = 0
+		}
+		c.energyJ += dt * p.Device.Power(c.pu, c.mult, true)
+		c.lastUpdate = now
+	}
+
+	// schedule recomputes c's rate under the current environment and
+	// (re)schedules its completion event.
+	schedule := func(c *simChunk) {
+		stage := p.App.Stages[c.stages[c.stagePos]]
+		e := env(c.idx)
+		c.mult = p.Device.Governor.Multiplier(c.pu, e.BusyClasses())
+		dur := p.Device.Estimate(stage.Cost, c.pu, e) * c.noise
+		if dur <= 0 {
+			dur = 1e-12
+		}
+		c.rate = 1 / dur
+		c.version++
+		v := c.version
+		eng.Schedule(c.remaining*dur, func() {
+			if c.version == v {
+				finishStage(c)
+			}
+		})
+	}
+
+	// reprice updates every other busy chunk after an environment change.
+	reprice := func(except int) {
+		for _, c := range chunks {
+			if c.idx != except && c.busy {
+				integrate(c)
+				schedule(c)
+			}
+		}
+	}
+
+	startStage := func(c *simChunk) {
+		stage := p.App.Stages[c.stages[c.stagePos]]
+		c.load = soc.Load{MemIntensity: p.Device.Intensity(stage.Cost, c.pu)}
+		c.noise = 1.0
+		if p.Device.NoiseSigma > 0 {
+			c.noise = math.Exp(p.Device.NoiseSigma * rng.NormFloat64())
+		}
+		c.remaining = 1
+		c.lastUpdate = eng.Now()
+		c.stageStart = eng.Now()
+		schedule(c)
+	}
+
+	finishStage = func(c *simChunk) {
+		integrate(c)
+		if opts.Trace != nil {
+			si := c.stages[c.stagePos]
+			opts.Trace.Add(trace.Span{
+				Chunk: c.idx, PU: c.pu,
+				Stage: p.App.Stages[si].Name, StageIndex: si,
+				Task: c.task, Start: c.stageStart, End: eng.Now(),
+			})
+		}
+		c.stagePos++
+		if c.stagePos < len(c.stages) {
+			startStage(c)
+			reprice(c.idx)
+			return
+		}
+		c.busy = false
+		c.busyTotal += eng.Now() - c.busySince
+		task := c.task
+		if c.idx == len(chunks)-1 {
+			if task == opts.Warmup-1 {
+				measureStart = eng.Now()
+			}
+			if task >= opts.Warmup {
+				completions = append(completions, eng.Now())
+			}
+			if issued < total {
+				chunks[0].queue = append(chunks[0].queue, issued)
+				issued++
+				tryStart(chunks[0])
+			}
+		} else {
+			next := chunks[c.idx+1]
+			next.queue = append(next.queue, task)
+			tryStart(next)
+		}
+		tryStart(c)
+		reprice(-1)
+	}
+
+	tryStart = func(c *simChunk) {
+		if c.busy || len(c.queue) == 0 {
+			return
+		}
+		c.task = c.queue[0]
+		c.queue = c.queue[1:]
+		c.busy = true
+		c.stagePos = 0
+		c.busySince = eng.Now()
+		startStage(c)
+		reprice(c.idx)
+	}
+
+	prime := opts.Buffers
+	if prime > total {
+		prime = total
+	}
+	for i := 0; i < prime; i++ {
+		chunks[0].queue = append(chunks[0].queue, issued)
+		issued++
+	}
+	tryStart(chunks[0])
+	eng.Run()
+
+	if opts.Warmup == 0 && len(completions) > 0 {
+		measureStart = 0
+	}
+	busy := make([]float64, len(chunks))
+	makespan := eng.Now()
+	if makespan > 0 {
+		for i, c := range chunks {
+			busy[i] = c.busyTotal / makespan
+		}
+	}
+	r := finalize(completions, measureStart, busy)
+
+	// Energy: busy energy accumulated per chunk, plus idle power for
+	// every PU's remaining time, plus the uncore floor. PU classes not
+	// used by the schedule idle for the entire run.
+	if makespan > 0 {
+		energy := p.Device.UncoreWatts * makespan
+		busySec := map[core.PUClass]float64{}
+		for _, c := range chunks {
+			energy += c.energyJ
+			busySec[c.pu] += c.busyTotal
+		}
+		for _, class := range p.Device.Classes() {
+			idle := makespan - busySec[class]
+			if idle > 0 {
+				energy += p.Device.Power(class, 1, false) * idle
+			}
+		}
+		r.EnergyJ = energy
+		r.EnergyPerTaskJ = energy / float64(total)
+		r.AvgWatts = energy / makespan
+	}
+	return r
+}

@@ -1,0 +1,121 @@
+// Package profiler is the BT-Profiler (paper Sec. 3.2): black-box
+// profiling of every stage on every PU class, in two execution modes —
+// isolated (the conventional methodology of prior work) and
+// interference-heavy, where every other PU concurrently runs the same
+// computation as the measuring PU. Each measurement repeats Reps times
+// (30 in the paper) and the mean populates the profiling table.
+//
+// The profiler never looks inside kernels or the SoC model's parameters:
+// it only draws latency samples, exactly as the paper's hardware-timer
+// instrumentation does.
+package profiler
+
+import (
+	"math/rand"
+
+	"bettertogether/internal/core"
+	"bettertogether/internal/soc"
+	"bettertogether/internal/stats"
+)
+
+// DefaultReps matches the paper's 30 repetitions per measurement.
+const DefaultReps = 30
+
+// Config controls a profiling run.
+type Config struct {
+	// Reps is the measurement repetition count (DefaultReps when <= 0).
+	Reps int
+	// Seed drives the measurement-noise stream, keeping profiling
+	// deterministic per configuration.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Reps <= 0 {
+		c.Reps = DefaultReps
+	}
+	return c
+}
+
+// Profile builds the stage × PU table for one application on one device
+// in the given mode.
+func Profile(app *core.Application, dev *soc.Device, mode core.ProfileMode, cfg Config) *core.ProfileTable {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	table := core.NewProfileTable(app.Name, dev.Name, mode, app.StageNames(), dev.Classes())
+	samples := make([]float64, cfg.Reps)
+	for i, stage := range app.Stages {
+		for _, pu := range dev.Classes() {
+			var env soc.Env
+			if mode == core.InterferenceHeavy {
+				// All other PUs run the same computation as the
+				// measuring PU (Sec. 3.2).
+				env = dev.HeavyEnv(stage.Cost, pu)
+			}
+			for r := 0; r < cfg.Reps; r++ {
+				samples[r] = dev.Sample(stage.Cost, pu, env, rng)
+			}
+			table.Set(i, pu, stats.Mean(samples))
+		}
+	}
+	return table
+}
+
+// Tables bundles both profiling modes for one app-device pair.
+type Tables struct {
+	Isolated *core.ProfileTable
+	Heavy    *core.ProfileTable
+}
+
+// ProfileBoth runs both modes with correlated seeds.
+func ProfileBoth(app *core.Application, dev *soc.Device, cfg Config) Tables {
+	return Tables{
+		Isolated: Profile(app, dev, core.Isolated, cfg),
+		Heavy:    Profile(app, dev, core.InterferenceHeavy, Config{Reps: cfg.Reps, Seed: cfg.Seed + 1}),
+	}
+}
+
+// For selects the table matching the given mode.
+func (t Tables) For(mode core.ProfileMode) *core.ProfileTable {
+	if mode == core.InterferenceHeavy {
+		return t.Heavy
+	}
+	return t.Isolated
+}
+
+// InterferenceRatios returns, per PU class, the mean over stages of
+// heavy/isolated latency — the quantity Fig. 7 plots per device. Values
+// above 1 are slowdowns under contention; below 1 are the counter-
+// intuitive speedups (GPU clock boosts) of Sec. 5.3.
+func InterferenceRatios(t Tables) map[core.PUClass]float64 {
+	out := make(map[core.PUClass]float64, len(t.Heavy.PUs))
+	for j, pu := range t.Heavy.PUs {
+		ratios := make([]float64, 0, len(t.Heavy.Stages))
+		for i := range t.Heavy.Stages {
+			iso := t.Isolated.Latency[i][j]
+			if iso > 0 {
+				ratios = append(ratios, t.Heavy.Latency[i][j]/iso)
+			}
+		}
+		out[pu] = stats.Mean(ratios)
+	}
+	return out
+}
+
+// MaxStageRatio returns the largest per-stage heavy/isolated ratio and
+// the stage and PU where it occurs — the paper's Sec. 3.2 observation of
+// stage-level differences up to 2.25× on the Pixel.
+func MaxStageRatio(t Tables) (stage string, pu core.PUClass, ratio float64) {
+	for i, name := range t.Heavy.Stages {
+		for j, class := range t.Heavy.PUs {
+			iso := t.Isolated.Latency[i][j]
+			if iso <= 0 {
+				continue
+			}
+			if r := t.Heavy.Latency[i][j] / iso; r > ratio {
+				stage, pu, ratio = name, class, r
+			}
+		}
+	}
+	return stage, pu, ratio
+}

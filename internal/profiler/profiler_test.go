@@ -1,0 +1,150 @@
+package profiler
+
+import (
+	"testing"
+
+	"bettertogether/internal/apps/alexnet"
+	"bettertogether/internal/apps/octree"
+	"bettertogether/internal/core"
+	"bettertogether/internal/soc"
+)
+
+func TestProfileTableComplete(t *testing.T) {
+	app := octree.NewApplication(4096, octree.UniformGen{})
+	dev := soc.NewPixel7a()
+	tab := Profile(app, dev, core.Isolated, Config{Seed: 1})
+	if !tab.Complete() {
+		t.Fatal("table incomplete")
+	}
+	if tab.App != app.Name || tab.Device == "" || tab.Mode != core.Isolated {
+		t.Errorf("metadata wrong: %+v", tab)
+	}
+	if len(tab.Stages) != 7 || len(tab.PUs) != 4 {
+		t.Fatalf("shape %dx%d", len(tab.Stages), len(tab.PUs))
+	}
+	for i := range tab.Stages {
+		for j := range tab.PUs {
+			if tab.Latency[i][j] <= 0 {
+				t.Errorf("entry (%d,%d) = %v", i, j, tab.Latency[i][j])
+			}
+		}
+	}
+}
+
+func TestProfileDeterministic(t *testing.T) {
+	app := alexnet.NewDense(1, 1)
+	dev := soc.NewJetson()
+	a := Profile(app, dev, core.InterferenceHeavy, Config{Seed: 5})
+	b := Profile(app, dev, core.InterferenceHeavy, Config{Seed: 5})
+	for i := range a.Latency {
+		for j := range a.Latency[i] {
+			if a.Latency[i][j] != b.Latency[i][j] {
+				t.Fatal("same seed, different tables")
+			}
+		}
+	}
+}
+
+func TestRepsReduceNoise(t *testing.T) {
+	// Means over 30 reps from two seeds must agree much better than
+	// single samples: the point of the paper's repetition protocol.
+	app := alexnet.NewDense(1, 1)
+	dev := soc.NewPixel7a() // noisiest device
+	many1 := Profile(app, dev, core.Isolated, Config{Reps: 30, Seed: 1})
+	many2 := Profile(app, dev, core.Isolated, Config{Reps: 30, Seed: 2})
+	one1 := Profile(app, dev, core.Isolated, Config{Reps: 1, Seed: 1})
+	one2 := Profile(app, dev, core.Isolated, Config{Reps: 1, Seed: 2})
+	var devMany, devOne float64
+	for i := range many1.Latency {
+		for j := range many1.Latency[i] {
+			devMany += abs(many1.Latency[i][j]-many2.Latency[i][j]) / many1.Latency[i][j]
+			devOne += abs(one1.Latency[i][j]-one2.Latency[i][j]) / one1.Latency[i][j]
+		}
+	}
+	if devMany >= devOne {
+		t.Errorf("30-rep tables deviate more (%v) than 1-rep tables (%v)", devMany, devOne)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestHeavyDiffersFromIsolated(t *testing.T) {
+	app := octree.NewApplication(4096, octree.UniformGen{})
+	dev := soc.NewPixel7a()
+	tabs := ProfileBoth(app, dev, Config{Seed: 3})
+	if tabs.For(core.Isolated) != tabs.Isolated || tabs.For(core.InterferenceHeavy) != tabs.Heavy {
+		t.Error("For() selection wrong")
+	}
+	diff := 0
+	for i := range tabs.Heavy.Latency {
+		for j := range tabs.Heavy.Latency[i] {
+			if abs(tabs.Heavy.Latency[i][j]-tabs.Isolated.Latency[i][j])/tabs.Isolated.Latency[i][j] > 0.05 {
+				diff++
+			}
+		}
+	}
+	if diff < 5 {
+		t.Errorf("only %d entries differ >5%% between modes; interference not captured", diff)
+	}
+}
+
+func TestInterferenceRatiosDirections(t *testing.T) {
+	// Fig. 7 directions: on the Pixel, CPU clusters slow down under load
+	// (>1) and the GPU speeds up (<1); on the Jetson everything slows.
+	app := octree.NewApplication(4096, octree.UniformGen{})
+
+	pixel := ProfileBoth(app, soc.NewPixel7a(), Config{Seed: 7})
+	rp := InterferenceRatios(pixel)
+	for _, c := range []core.PUClass{core.ClassBig, core.ClassMedium, core.ClassLittle} {
+		if rp[c] <= 1.0 {
+			t.Errorf("pixel %s ratio %v, want > 1", c, rp[c])
+		}
+	}
+	if rp[core.ClassGPU] >= 1.0 {
+		t.Errorf("pixel gpu ratio %v, want < 1 (firmware boost)", rp[core.ClassGPU])
+	}
+
+	oneplus := ProfileBoth(app, soc.NewOnePlus11(), Config{Seed: 7})
+	ro := InterferenceRatios(oneplus)
+	if ro[core.ClassLittle] >= 1.0 {
+		t.Errorf("oneplus little ratio %v, want < 1 (A510 boost)", ro[core.ClassLittle])
+	}
+	if ro[core.ClassGPU] >= 1.0 {
+		t.Errorf("oneplus gpu ratio %v, want < 1", ro[core.ClassGPU])
+	}
+
+	jetson := ProfileBoth(app, soc.NewJetson(), Config{Seed: 7})
+	rj := InterferenceRatios(jetson)
+	for c, r := range rj {
+		if r <= 1.0 {
+			t.Errorf("jetson %s ratio %v, want > 1 (no boost quirks)", c, r)
+		}
+	}
+}
+
+func TestMaxStageRatio(t *testing.T) {
+	app := octree.NewApplication(4096, octree.UniformGen{})
+	tabs := ProfileBoth(app, soc.NewPixel7a(), Config{Seed: 9})
+	stage, pu, ratio := MaxStageRatio(tabs)
+	if stage == "" || pu == "" {
+		t.Fatal("no max found")
+	}
+	// Sec. 3.2 reports differences up to 2.25× on the Pixel; our model
+	// must show a material stage-level effect (well above the noise
+	// floor).
+	if ratio < 1.2 {
+		t.Errorf("max stage ratio %v, want material interference (> 1.2)", ratio)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Reps != DefaultReps {
+		t.Errorf("default reps = %d", c.Reps)
+	}
+}

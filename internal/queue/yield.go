@@ -1,0 +1,9 @@
+package queue
+
+import "runtime"
+
+// yield parks the calling goroutine briefly so the counterpart of the
+// queue (or the compute workers it is waiting on) can run. Dispatcher
+// threads in the paper likewise yield instead of spinning hot, so they do
+// not steal CPU time from OpenMP worker threads.
+func yield() { runtime.Gosched() }

@@ -1,0 +1,188 @@
+// Package report renders the experiment outputs as aligned ASCII tables,
+// horizontal bar charts, and heatmaps — the textual equivalents of the
+// paper's tables and figures, suitable for terminals and logs.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a simple aligned-column text table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; short rows are padded.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// Render produces the aligned text.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Ms formats seconds as milliseconds with adaptive precision.
+func Ms(seconds float64) string {
+	ms := seconds * 1e3
+	switch {
+	case math.IsNaN(ms):
+		return "n/a"
+	case ms >= 100:
+		return fmt.Sprintf("%.1f", ms)
+	case ms >= 10:
+		return fmt.Sprintf("%.2f", ms)
+	default:
+		return fmt.Sprintf("%.3f", ms)
+	}
+}
+
+// F2 formats a ratio with two decimals.
+func F2(v float64) string {
+	if math.IsNaN(v) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// F4 formats a correlation with four decimals.
+func F4(v float64) string {
+	if math.IsNaN(v) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.4f", v)
+}
+
+// BarChart renders labeled horizontal bars scaled to width.
+type BarChart struct {
+	Title string
+	Width int
+	bars  []struct {
+		label string
+		value float64
+	}
+}
+
+// NewBarChart creates a chart; width <= 0 defaults to 40 characters.
+func NewBarChart(title string, width int) *BarChart {
+	if width <= 0 {
+		width = 40
+	}
+	return &BarChart{Title: title, Width: width}
+}
+
+// Add appends a labeled bar.
+func (c *BarChart) Add(label string, value float64) {
+	c.bars = append(c.bars, struct {
+		label string
+		value float64
+	}{label, value})
+}
+
+// Render draws the chart.
+func (c *BarChart) Render() string {
+	var b strings.Builder
+	if c.Title != "" {
+		b.WriteString(c.Title)
+		b.WriteByte('\n')
+	}
+	maxV, maxL := 0.0, 0
+	for _, bar := range c.bars {
+		if bar.value > maxV {
+			maxV = bar.value
+		}
+		if len(bar.label) > maxL {
+			maxL = len(bar.label)
+		}
+	}
+	for _, bar := range c.bars {
+		n := 0
+		if maxV > 0 {
+			n = int(math.Round(bar.value / maxV * float64(c.Width)))
+		}
+		if n == 0 && bar.value > 0 {
+			n = 1
+		}
+		fmt.Fprintf(&b, "%-*s | %s %.2f\n", maxL, bar.label, strings.Repeat("#", n), bar.value)
+	}
+	return b.String()
+}
+
+// Heatmap renders a labeled numeric matrix (rows × cols).
+type Heatmap struct {
+	Title     string
+	RowLabels []string
+	ColLabels []string
+	Values    [][]float64
+	// Format formats cell values; nil uses F4.
+	Format func(float64) string
+}
+
+// Render draws the matrix with aligned columns.
+func (h *Heatmap) Render() string {
+	format := h.Format
+	if format == nil {
+		format = F4
+	}
+	t := NewTable(h.Title, append([]string{""}, h.ColLabels...)...)
+	for i, rl := range h.RowLabels {
+		cells := []string{rl}
+		for j := range h.ColLabels {
+			cells = append(cells, format(h.Values[i][j]))
+		}
+		t.AddRow(cells...)
+	}
+	return t.Render()
+}
+
+// Section wraps a report body with a header rule for multi-experiment
+// output streams.
+func Section(name, body string) string {
+	rule := strings.Repeat("=", len(name)+8)
+	return fmt.Sprintf("%s\n=== %s ===\n%s\n%s\n", rule, name, rule, body)
+}

@@ -1,0 +1,113 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("T", "name", "value")
+	tab.AddRow("alpha", "1")
+	tab.AddRow("b", "22222")
+	out := tab.Render()
+	if !strings.Contains(out, "T\n") || !strings.Contains(out, "alpha") {
+		t.Errorf("render missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + separator + 2 rows.
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Columns aligned: header and rows share the separator width.
+	if len(lines[1]) != len(lines[2]) {
+		t.Error("separator misaligned with header")
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tab := NewTable("", "a", "b", "c")
+	tab.AddRow("x")
+	out := tab.Render()
+	if !strings.Contains(out, "x") {
+		t.Error("row lost")
+	}
+}
+
+func TestMs(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0.200, "200.0"},
+		{0.020, "20.00"},
+		{0.002, "2.000"},
+		{math.NaN(), "n/a"},
+	}
+	for _, c := range cases {
+		if got := Ms(c.in); got != c.want {
+			t.Errorf("Ms(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F2(1.234) != "1.23" || F4(0.98765) != "0.9877" {
+		t.Error("formatting wrong")
+	}
+	if F2(math.NaN()) != "n/a" || F4(math.NaN()) != "n/a" {
+		t.Error("NaN handling wrong")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	c := NewBarChart("Speedups", 10)
+	c.Add("a", 2)
+	c.Add("bb", 8)
+	c.Add("zero", 0)
+	out := c.Render()
+	if !strings.Contains(out, "Speedups") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines:\n%s", out)
+	}
+	// Largest bar fills the width.
+	if !strings.Contains(lines[2], strings.Repeat("#", 10)) {
+		t.Errorf("max bar not full width: %q", lines[2])
+	}
+	// Small but nonzero values still draw one tick.
+	small := NewBarChart("", 10)
+	small.Add("tiny", 0.001)
+	small.Add("big", 100)
+	if !strings.Contains(strings.Split(small.Render(), "\n")[0], "#") {
+		t.Error("tiny bar invisible")
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	h := &Heatmap{
+		Title:     "corr",
+		RowLabels: []string{"r1", "r2"},
+		ColLabels: []string{"c1", "c2"},
+		Values:    [][]float64{{0.9, 0.8}, {0.7, 0.6}},
+	}
+	out := h.Render()
+	for _, want := range []string{"corr", "r1", "c2", "0.9000", "0.6000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	h.Format = F2
+	if !strings.Contains(h.Render(), "0.90") {
+		t.Error("custom format ignored")
+	}
+}
+
+func TestSection(t *testing.T) {
+	out := Section("Fig 1", "body\n")
+	if !strings.Contains(out, "=== Fig 1 ===") || !strings.Contains(out, "body") {
+		t.Errorf("section malformed:\n%s", out)
+	}
+}

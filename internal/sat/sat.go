@@ -1,0 +1,305 @@
+// Package sat is a small DPLL satisfiability solver with two-watched-
+// literal unit propagation and model enumeration through blocking
+// clauses. It exists because the paper solves its scheduling constraints
+// with an SMT solver (z3) driven exactly this way: find a model, record
+// it, add a clause forbidding it (the C5ℓ blocking clauses of Sec. 3.3),
+// repeat. The solver package encodes the paper's boolean constraint
+// system onto this engine and handles the arithmetic side conditions
+// lazily, giving a second, independently-implemented path to the same
+// schedules as the branch-and-bound search — each validates the other.
+package sat
+
+import "fmt"
+
+// Lit is a literal: variable v (0-based) appears as v+1 positively and
+// -(v+1) negated.
+type Lit int
+
+// Pos and Neg build literals for variable v.
+func Pos(v int) Lit { return Lit(v + 1) }
+
+// Neg returns the negated literal of variable v.
+func Neg(v int) Lit { return Lit(-(v + 1)) }
+
+// Var returns the 0-based variable of a literal.
+func (l Lit) Var() int {
+	if l < 0 {
+		return int(-l) - 1
+	}
+	return int(l) - 1
+}
+
+// Sign reports whether the literal is positive.
+func (l Lit) Sign() bool { return l > 0 }
+
+// neg returns the complementary literal.
+func (l Lit) neg() Lit { return -l }
+
+// code indexes watch lists: 2v for the positive literal, 2v+1 negative.
+func (l Lit) code() int {
+	v := l.Var()
+	if l.Sign() {
+		return 2 * v
+	}
+	return 2*v + 1
+}
+
+// Clause is a disjunction of literals.
+type Clause []Lit
+
+// Solver holds a CNF formula with persistent watch lists; assignment
+// state is rebuilt per Solve, so clauses (notably blocking clauses) may
+// be added between calls.
+type Solver struct {
+	numVars int
+	clauses []Clause
+	// watches[code] lists clause indices currently watching that
+	// literal. Every clause with >= 2 literals watches its first two
+	// positions (positions are swapped as watches move).
+	watches [][]int
+	// units are the single-literal clauses, enqueued at solve start.
+	units []Lit
+	empty bool // an empty clause was added: trivially UNSAT
+}
+
+// New creates a solver over numVars variables.
+func New(numVars int) *Solver {
+	if numVars <= 0 {
+		panic(fmt.Sprintf("sat: need positive variable count, got %d", numVars))
+	}
+	return &Solver{
+		numVars: numVars,
+		watches: make([][]int, 2*numVars),
+	}
+}
+
+// NumVars returns the variable count.
+func (s *Solver) NumVars() int { return s.numVars }
+
+// NumClauses returns the clause count (including unit clauses).
+func (s *Solver) NumClauses() int { return len(s.clauses) + len(s.units) }
+
+// Add appends a clause. An empty clause makes the formula UNSAT;
+// out-of-range literals panic.
+func (s *Solver) Add(lits ...Lit) {
+	for _, l := range lits {
+		if l == 0 || l.Var() >= s.numVars {
+			panic(fmt.Sprintf("sat: literal %d out of range", l))
+		}
+	}
+	switch len(lits) {
+	case 0:
+		s.empty = true
+	case 1:
+		s.units = append(s.units, lits[0])
+	default:
+		c := make(Clause, len(lits))
+		copy(c, lits)
+		idx := len(s.clauses)
+		s.clauses = append(s.clauses, c)
+		s.watches[c[0].code()] = append(s.watches[c[0].code()], idx)
+		s.watches[c[1].code()] = append(s.watches[c[1].code()], idx)
+	}
+}
+
+// search is the per-Solve state.
+type search struct {
+	s      *Solver
+	assign []int8 // 0 unassigned, +1 true, -1 false
+	trail  []Lit
+	// decisions[i] is the trail index of decision level i's literal.
+	decisions []int
+	// flipped[i] reports whether level i already tried both phases.
+	flipped []bool
+	qhead   int
+}
+
+func (st *search) value(l Lit) int8 {
+	v := st.assign[l.Var()]
+	if v == 0 {
+		return 0
+	}
+	if l.Sign() {
+		return v
+	}
+	return -v
+}
+
+// enqueue asserts l; it returns false if l is already false.
+func (st *search) enqueue(l Lit) bool {
+	switch st.value(l) {
+	case 1:
+		return true
+	case -1:
+		return false
+	}
+	if l.Sign() {
+		st.assign[l.Var()] = 1
+	} else {
+		st.assign[l.Var()] = -1
+	}
+	st.trail = append(st.trail, l)
+	return true
+}
+
+// propagate processes pending assignments through the watch lists; it
+// returns false on conflict.
+func (st *search) propagate() bool {
+	s := st.s
+	for st.qhead < len(st.trail) {
+		l := st.trail[st.qhead]
+		st.qhead++
+		falsified := l.neg()
+		watchList := s.watches[falsified.code()]
+		kept := watchList[:0]
+		conflict := false
+		for wi := 0; wi < len(watchList); wi++ {
+			ci := watchList[wi]
+			c := s.clauses[ci]
+			// Normalize: watched literals sit at c[0], c[1]; put the
+			// falsified one at c[1].
+			if c[0] == falsified {
+				c[0], c[1] = c[1], c[0]
+			}
+			// If the other watch is true the clause is satisfied.
+			if st.value(c[0]) == 1 {
+				kept = append(kept, ci)
+				continue
+			}
+			// Look for a replacement watch.
+			moved := false
+			for k := 2; k < len(c); k++ {
+				if st.value(c[k]) != -1 {
+					c[1], c[k] = c[k], c[1]
+					s.watches[c[1].code()] = append(s.watches[c[1].code()], ci)
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue // watch moved off this literal
+			}
+			// Clause is unit (or conflicting) on c[0].
+			kept = append(kept, ci)
+			if !st.enqueue(c[0]) {
+				// Conflict: keep the remaining watchers and fail.
+				kept = append(kept, watchList[wi+1:]...)
+				conflict = true
+				break
+			}
+		}
+		s.watches[falsified.code()] = kept
+		if conflict {
+			return false
+		}
+	}
+	return true
+}
+
+// backtrack undoes to the most recent unflipped decision and flips it;
+// it returns false when no decision remains (UNSAT).
+func (st *search) backtrack() bool {
+	for len(st.decisions) > 0 {
+		level := len(st.decisions) - 1
+		pos := st.decisions[level]
+		decided := st.trail[pos]
+		// Undo all assignments at or above the decision.
+		for i := len(st.trail) - 1; i >= pos; i-- {
+			st.assign[st.trail[i].Var()] = 0
+		}
+		st.trail = st.trail[:pos]
+		st.qhead = pos
+		if st.flipped[level] {
+			st.decisions = st.decisions[:level]
+			st.flipped = st.flipped[:level]
+			continue
+		}
+		st.flipped[level] = true
+		if st.enqueue(decided.neg()) {
+			return true
+		}
+		// Flipping immediately conflicts (shouldn't happen after undo,
+		// but keep the invariant): pop the level.
+		st.decisions = st.decisions[:level]
+		st.flipped = st.flipped[:level]
+	}
+	return false
+}
+
+// Solve returns a satisfying assignment (true/false per variable) and
+// whether one exists. The formula is not modified; unassigned variables
+// default to false in the model.
+func (s *Solver) Solve() ([]bool, bool) {
+	if s.empty {
+		return nil, false
+	}
+	st := &search{s: s, assign: make([]int8, s.numVars)}
+	for _, u := range s.units {
+		if !st.enqueue(u) {
+			return nil, false
+		}
+	}
+	for {
+		if !st.propagate() {
+			if !st.backtrack() {
+				return nil, false
+			}
+			continue
+		}
+		// Decide the first unassigned variable, preferring false so
+		// enumeration visits sparse models first.
+		branch := -1
+		for v := 0; v < s.numVars; v++ {
+			if st.assign[v] == 0 {
+				branch = v
+				break
+			}
+		}
+		if branch < 0 {
+			model := make([]bool, s.numVars)
+			for v, a := range st.assign {
+				model[v] = a == 1
+			}
+			return model, true
+		}
+		st.decisions = append(st.decisions, len(st.trail))
+		st.flipped = append(st.flipped, false)
+		st.enqueue(Neg(branch))
+	}
+}
+
+// Block adds a clause forbidding the model's restriction to vars —
+// the paper's C5ℓ blocking clause. Only the listed variables
+// participate, so models differing elsewhere are also excluded; pass the
+// decision variables.
+func (s *Solver) Block(model []bool, vars []int) {
+	c := make([]Lit, 0, len(vars))
+	for _, v := range vars {
+		if model[v] {
+			c = append(c, Neg(v))
+		} else {
+			c = append(c, Pos(v))
+		}
+	}
+	s.Add(c...)
+}
+
+// EnumerateModels repeatedly solves and blocks over the given decision
+// variables, visiting every distinct restriction until visit returns
+// false or the formula becomes unsatisfiable. It returns the number of
+// models visited. The solver accumulates the blocking clauses (callers
+// wanting a fresh formula should re-encode).
+func (s *Solver) EnumerateModels(vars []int, visit func(model []bool) bool) int {
+	count := 0
+	for {
+		model, ok := s.Solve()
+		if !ok {
+			return count
+		}
+		count++
+		if !visit(model) {
+			return count
+		}
+		s.Block(model, vars)
+	}
+}

@@ -1,0 +1,271 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLiterals(t *testing.T) {
+	if Pos(3) != 4 || Neg(3) != -4 {
+		t.Error("literal encoding wrong")
+	}
+	if Pos(3).Var() != 3 || Neg(3).Var() != 3 {
+		t.Error("Var wrong")
+	}
+	if !Pos(0).Sign() || Neg(0).Sign() {
+		t.Error("Sign wrong")
+	}
+}
+
+func TestTrivialSAT(t *testing.T) {
+	s := New(2)
+	s.Add(Pos(0))
+	s.Add(Neg(1))
+	model, ok := s.Solve()
+	if !ok {
+		t.Fatal("UNSAT on trivially satisfiable formula")
+	}
+	if !model[0] || model[1] {
+		t.Errorf("model = %v", model)
+	}
+}
+
+func TestTrivialUNSAT(t *testing.T) {
+	s := New(1)
+	s.Add(Pos(0))
+	s.Add(Neg(0))
+	if _, ok := s.Solve(); ok {
+		t.Error("SAT on contradictory formula")
+	}
+}
+
+func TestImplicationChain(t *testing.T) {
+	// x0 ∧ (x0→x1) ∧ (x1→x2) forces all true via unit propagation.
+	s := New(3)
+	s.Add(Pos(0))
+	s.Add(Neg(0), Pos(1))
+	s.Add(Neg(1), Pos(2))
+	model, ok := s.Solve()
+	if !ok {
+		t.Fatal("UNSAT")
+	}
+	for v, val := range model {
+		if !val {
+			t.Errorf("var %d should be true", v)
+		}
+	}
+}
+
+func TestPigeonhole32UNSAT(t *testing.T) {
+	// 3 pigeons into 2 holes: classic small UNSAT. Var(p, h) = p*2 + h.
+	s := New(6)
+	v := func(p, h int) int { return p*2 + h }
+	for p := 0; p < 3; p++ {
+		s.Add(Pos(v(p, 0)), Pos(v(p, 1))) // each pigeon somewhere
+	}
+	for h := 0; h < 2; h++ {
+		for p1 := 0; p1 < 3; p1++ {
+			for p2 := p1 + 1; p2 < 3; p2++ {
+				s.Add(Neg(v(p1, h)), Neg(v(p2, h))) // no shared hole
+			}
+		}
+	}
+	if _, ok := s.Solve(); ok {
+		t.Error("pigeonhole 3-into-2 is UNSAT")
+	}
+}
+
+func TestXorEnumeration(t *testing.T) {
+	// (x0 ∨ x1) ∧ (¬x0 ∨ ¬x1): exactly two models over {x0, x1}.
+	s := New(2)
+	s.Add(Pos(0), Pos(1))
+	s.Add(Neg(0), Neg(1))
+	var models [][]bool
+	n := s.EnumerateModels([]int{0, 1}, func(m []bool) bool {
+		models = append(models, append([]bool(nil), m...))
+		return true
+	})
+	if n != 2 || len(models) != 2 {
+		t.Fatalf("enumerated %d models", n)
+	}
+	if models[0][0] == models[1][0] {
+		t.Error("enumeration repeated a model")
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	s := New(3) // free variables: 8 models over all three
+	n := s.EnumerateModels([]int{0, 1, 2}, func(m []bool) bool { return false })
+	if n != 1 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestEnumerateRestriction(t *testing.T) {
+	// Enumerating over a subset of variables counts distinct
+	// restrictions, not total models: 3 free vars, enumerate over 1.
+	s := New(3)
+	n := s.EnumerateModels([]int{0}, func(m []bool) bool { return true })
+	if n != 2 {
+		t.Errorf("restricted enumeration visited %d, want 2", n)
+	}
+}
+
+func TestBlockExcludesModel(t *testing.T) {
+	s := New(2)
+	model, ok := s.Solve()
+	if !ok {
+		t.Fatal("free formula UNSAT")
+	}
+	s.Block(model, []int{0, 1})
+	second, ok := s.Solve()
+	if !ok {
+		t.Fatal("blocking one of four models made it UNSAT")
+	}
+	if second[0] == model[0] && second[1] == model[1] {
+		t.Error("blocked model returned again")
+	}
+}
+
+func TestAddPanicsOnBadLiteral(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(2).Add(Pos(5))
+}
+
+func TestNewPanicsOnZeroVars(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(0)
+}
+
+func TestStats(t *testing.T) {
+	s := New(4)
+	s.Add(Pos(0), Pos(1))
+	if s.NumVars() != 4 || s.NumClauses() != 1 {
+		t.Error("stats wrong")
+	}
+}
+
+// TestRandom3CNFAgainstBruteForce fuzzes the watched-literal machinery:
+// satisfiability of random small formulas must match exhaustive
+// evaluation, and returned models must actually satisfy the formula.
+func TestRandom3CNFAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 300; trial++ {
+		nVars := 2 + rng.Intn(9)
+		nClauses := 1 + rng.Intn(5*nVars)
+		clauses := make([]Clause, nClauses)
+		s := New(nVars)
+		for i := range clauses {
+			width := 1 + rng.Intn(3)
+			c := make(Clause, 0, width)
+			for k := 0; k < width; k++ {
+				v := rng.Intn(nVars)
+				if rng.Intn(2) == 0 {
+					c = append(c, Pos(v))
+				} else {
+					c = append(c, Neg(v))
+				}
+			}
+			clauses[i] = c
+			s.Add(c...)
+		}
+		eval := func(model uint) bool {
+			for _, c := range clauses {
+				ok := false
+				for _, l := range c {
+					bit := model>>uint(l.Var())&1 == 1
+					if bit == l.Sign() {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					return false
+				}
+			}
+			return true
+		}
+		bruteSAT := false
+		for m := uint(0); m < 1<<uint(nVars); m++ {
+			if eval(m) {
+				bruteSAT = true
+				break
+			}
+		}
+		model, ok := s.Solve()
+		if ok != bruteSAT {
+			t.Fatalf("trial %d: solver says %v, brute force says %v", trial, ok, bruteSAT)
+		}
+		if ok {
+			var bits uint
+			for v, val := range model {
+				if val {
+					bits |= 1 << uint(v)
+				}
+			}
+			if !eval(bits) {
+				t.Fatalf("trial %d: returned model does not satisfy the formula", trial)
+			}
+		}
+	}
+}
+
+// TestEnumerationCompleteAgainstBruteForce checks AllSAT counts.
+func TestEnumerationCompleteAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 50; trial++ {
+		nVars := 2 + rng.Intn(6)
+		s := New(nVars)
+		var clauses []Clause
+		for i := 0; i < 1+rng.Intn(2*nVars); i++ {
+			width := 2 + rng.Intn(2)
+			c := make(Clause, 0, width)
+			for k := 0; k < width; k++ {
+				v := rng.Intn(nVars)
+				if rng.Intn(2) == 0 {
+					c = append(c, Pos(v))
+				} else {
+					c = append(c, Neg(v))
+				}
+			}
+			clauses = append(clauses, c)
+			s.Add(c...)
+		}
+		want := 0
+		for m := uint(0); m < 1<<uint(nVars); m++ {
+			ok := true
+			for _, c := range clauses {
+				sat := false
+				for _, l := range c {
+					if (m>>uint(l.Var())&1 == 1) == l.Sign() {
+						sat = true
+						break
+					}
+				}
+				if !sat {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				want++
+			}
+		}
+		vars := make([]int, nVars)
+		for v := range vars {
+			vars[v] = v
+		}
+		got := s.EnumerateModels(vars, func([]bool) bool { return true })
+		if got != want {
+			t.Fatalf("trial %d: enumerated %d models, brute force says %d", trial, got, want)
+		}
+	}
+}

@@ -1,0 +1,293 @@
+// Package sched is the BT-Optimizer (paper Sec. 3.3): it turns a
+// profiling table into ranked pipeline schedules through three
+// optimization levels —
+//
+//  1. Utilization: solve for the minimum-gapness schedule (objective O1)
+//     and derive a utilization filter from it, keeping only schedules
+//     whose chunks are balanced enough that the interference-heavy
+//     profiling conditions actually hold at runtime.
+//  2. Latency: enumerate K diverse candidates under the filter, ranked by
+//     predicted bottleneck latency (T_max), using blocking clauses to
+//     guarantee distinct assignments.
+//  3. Autotuning: execute the top candidates on the device (the
+//     simulator's virtual device here) and pick the best measured one,
+//     absorbing residual model error within performance tiers.
+//
+// The package also implements the two baseline strategies the paper
+// compares against in Figs. 5 and 6: latency-only optimization over the
+// interference-aware table, and the prior-work approach of latency-only
+// optimization over an isolated table.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"bettertogether/internal/core"
+	"bettertogether/internal/pipeline"
+	"bettertogether/internal/profiler"
+	"bettertogether/internal/soc"
+	"bettertogether/internal/solver"
+)
+
+// Strategy selects the optimization recipe.
+type Strategy int
+
+const (
+	// BetterTogether is the full recipe: interference-aware table,
+	// gapness filter, latency ranking (Fig. 5a).
+	BetterTogether Strategy = iota
+	// LatencyOnlyHeavy ranks by latency on the interference-aware table
+	// without the utilization filter (Fig. 5b).
+	LatencyOnlyHeavy
+	// LatencyOnlyIsolated is the prior-work approach: isolated table,
+	// latency-only ranking (Fig. 5c).
+	LatencyOnlyIsolated
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case BetterTogether:
+		return "better-together"
+	case LatencyOnlyHeavy:
+		return "latency-only"
+	case LatencyOnlyIsolated:
+		return "isolated-latency-only"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// Objective selects what the autotuning level optimizes. The paper
+// optimizes latency; the energy objectives are extensions enabled by the
+// simulator's power model, trading the intro's two edge motivations
+// (latency and energy) explicitly.
+type Objective int
+
+const (
+	// ObjectiveLatency picks the candidate with the smallest measured
+	// per-task latency (the paper's behaviour).
+	ObjectiveLatency Objective = iota
+	// ObjectiveEnergy picks the smallest measured energy per task.
+	ObjectiveEnergy
+	// ObjectiveEDP picks the smallest energy-delay product, the usual
+	// balanced metric.
+	ObjectiveEDP
+)
+
+// String names the objective.
+func (o Objective) String() string {
+	switch o {
+	case ObjectiveLatency:
+		return "latency"
+	case ObjectiveEnergy:
+		return "energy"
+	case ObjectiveEDP:
+		return "edp"
+	default:
+		return fmt.Sprintf("objective(%d)", int(o))
+	}
+}
+
+// DefaultK matches the paper's candidate pool size.
+const DefaultK = 20
+
+// DefaultUtilSlack is the utilization filter's tolerance: a schedule
+// passes when its gapness is within this fraction of its own bottleneck
+// time (or matches the optimum gap). It corresponds to the paper's
+// T_min/T_max chunk-runtime window.
+const DefaultUtilSlack = 0.40
+
+// Candidate is one ranked schedule with its model prediction.
+type Candidate struct {
+	Schedule core.Schedule
+	// Predicted is the model's per-task latency in seconds (T_max on the
+	// strategy's table).
+	Predicted float64
+	// Gap is the predicted gapness.
+	Gap float64
+}
+
+// Optimizer holds the inputs of an optimization run: the application,
+// the device's affinity map (PU classes), and the profiling tables.
+type Optimizer struct {
+	App    *core.Application
+	Device *soc.Device
+	Tables profiler.Tables
+	// K is the candidate pool size (DefaultK when 0).
+	K int
+	// UtilSlack is the utilization filter tolerance (DefaultUtilSlack
+	// when 0).
+	UtilSlack float64
+	// Objective selects the autotuning metric (latency by default).
+	Objective Objective
+}
+
+// New builds an optimizer with defaults.
+func New(app *core.Application, dev *soc.Device, tables profiler.Tables) *Optimizer {
+	return &Optimizer{App: app, Device: dev, Tables: tables, K: DefaultK, UtilSlack: DefaultUtilSlack}
+}
+
+func (o *Optimizer) k() int {
+	if o.K > 0 {
+		return o.K
+	}
+	return DefaultK
+}
+
+func (o *Optimizer) slack() float64 {
+	if o.UtilSlack > 0 {
+		return o.UtilSlack
+	}
+	return DefaultUtilSlack
+}
+
+// table returns the profiling table a strategy predicts with.
+func (o *Optimizer) table(s Strategy) *core.ProfileTable {
+	if s == LatencyOnlyIsolated {
+		return o.Tables.Isolated
+	}
+	return o.Tables.Heavy
+}
+
+// problem converts a profiling table into a solver instance; class order
+// follows the table columns.
+func problem(t *core.ProfileTable) *solver.Problem {
+	p := &solver.Problem{N: len(t.Stages), M: len(t.PUs), Time: make([][]float64, len(t.Stages))}
+	for i := range t.Stages {
+		p.Time[i] = append([]float64(nil), t.Latency[i]...)
+	}
+	return p
+}
+
+// toSchedule maps a solver assignment back to PU classes.
+func toSchedule(t *core.ProfileTable, assign []int) core.Schedule {
+	s := core.Schedule{Assign: make([]core.PUClass, len(assign))}
+	for i, c := range assign {
+		s.Assign[i] = t.PUs[c]
+	}
+	return s
+}
+
+// Candidates runs optimization levels one and two for the strategy,
+// returning up to K schedules ranked by predicted latency.
+func (o *Optimizer) Candidates(strategy Strategy) []Candidate {
+	tab := o.table(strategy)
+	prob := problem(tab)
+
+	if strategy == BetterTogether {
+		// Level one: minimum gapness sets the utilization threshold.
+		gapBest, ok := solver.MinimizeGapness(prob, solver.Constraints{})
+		if !ok {
+			return nil
+		}
+		slack := o.slack()
+		var pool []solver.Solution
+		_ = solver.Enumerate(prob, solver.Constraints{}, nil, func(s solver.Solution) bool {
+			if s.Gap() <= gapBest.Gap()+1e-15 || s.Gap() <= slack*s.TMax {
+				pool = append(pool, s)
+			}
+			return true
+		})
+		// Level two: rank the filtered pool by predicted latency;
+		// distinctness comes free (each assignment appears once), which
+		// is what the blocking clauses guarantee in the paper.
+		sort.Slice(pool, func(a, b int) bool {
+			if pool[a].TMax != pool[b].TMax {
+				return pool[a].TMax < pool[b].TMax
+			}
+			return solver.Key(pool[a].Assign) < solver.Key(pool[b].Assign)
+		})
+		if len(pool) > o.k() {
+			pool = pool[:o.k()]
+		}
+		out := make([]Candidate, len(pool))
+		for i, s := range pool {
+			out[i] = Candidate{Schedule: toSchedule(tab, s.Assign), Predicted: s.TMax, Gap: s.Gap()}
+		}
+		return out
+	}
+
+	// Baseline strategies: latency-only top-K, no utilization filter.
+	sols := solver.TopKByLatency(prob, solver.Constraints{}, o.k())
+	out := make([]Candidate, len(sols))
+	for i, s := range sols {
+		out[i] = Candidate{Schedule: toSchedule(tab, s.Assign), Predicted: s.TMax, Gap: s.Gap()}
+	}
+	return out
+}
+
+// AutotuneResult reports optimization level three.
+type AutotuneResult struct {
+	// Measured[i] is candidate i's executed per-task latency in seconds.
+	Measured []float64
+	// Energy[i] is candidate i's measured energy per task in joules.
+	Energy []float64
+	// BestIndex is the candidate that optimizes the configured
+	// objective.
+	BestIndex int
+}
+
+// score evaluates a measurement under the objective.
+func (o *Optimizer) score(latency, energy float64) float64 {
+	switch o.Objective {
+	case ObjectiveEnergy:
+		return energy
+	case ObjectiveEDP:
+		return energy * latency
+	default:
+		return latency
+	}
+}
+
+// Autotune executes each candidate on the device and returns the
+// measured latencies and the winner — the paper's final optimization
+// level, which absorbs residual prediction error within performance
+// tiers (Sec. 5.2, Table 4).
+func (o *Optimizer) Autotune(cands []Candidate, opts pipeline.Options) (AutotuneResult, error) {
+	res := AutotuneResult{
+		Measured:  make([]float64, len(cands)),
+		Energy:    make([]float64, len(cands)),
+		BestIndex: -1,
+	}
+	for i, c := range cands {
+		plan, err := pipeline.NewPlan(o.App, o.Device, c.Schedule)
+		if err != nil {
+			return res, fmt.Errorf("sched: candidate %d invalid: %w", i, err)
+		}
+		r := pipeline.Simulate(plan, opts)
+		res.Measured[i] = r.PerTask
+		res.Energy[i] = r.EnergyPerTaskJ
+		if res.BestIndex < 0 ||
+			o.score(r.PerTask, r.EnergyPerTaskJ) < o.score(res.Measured[res.BestIndex], res.Energy[res.BestIndex]) {
+			res.BestIndex = i
+		}
+	}
+	return res, nil
+}
+
+// Optimize runs the full three-level pipeline for a strategy and returns
+// the ranked candidates, the autotuning measurements, and the selected
+// schedule.
+func (o *Optimizer) Optimize(strategy Strategy, opts pipeline.Options) ([]Candidate, AutotuneResult, Candidate, error) {
+	cands := o.Candidates(strategy)
+	if len(cands) == 0 {
+		return nil, AutotuneResult{}, Candidate{}, fmt.Errorf("sched: no feasible schedule")
+	}
+	tune, err := o.Autotune(cands, opts)
+	if err != nil {
+		return cands, tune, Candidate{}, err
+	}
+	return cands, tune, cands[tune.BestIndex], nil
+}
+
+// MeasureUniform executes the homogeneous baseline on a single class —
+// the all-GPU and all-big-CPU comparisons of Sec. 5.1.
+func MeasureUniform(app *core.Application, dev *soc.Device, pu core.PUClass, opts pipeline.Options) (float64, error) {
+	plan, err := pipeline.NewPlan(app, dev, core.NewUniformSchedule(len(app.Stages), pu))
+	if err != nil {
+		return 0, err
+	}
+	return pipeline.Simulate(plan, opts).PerTask, nil
+}

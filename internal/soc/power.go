@@ -1,0 +1,41 @@
+package soc
+
+import "bettertogether/internal/core"
+
+// Power model. The paper motivates edge processing with energy savings
+// (Sec. 1) but does not evaluate energy; this extension quantifies it.
+// Each PU draws IdleWatts when powered but idle and BusyWatts at full
+// load and nominal clock; dynamic power scales with the cube of the
+// DVFS multiplier (the classic f·V² law with V tracking f), so governor
+// boosts are expensive and throttles cheap. The device's UncoreWatts
+// (memory controller, interconnect, rails) flows whenever the SoC is on.
+
+// Power returns the instantaneous draw in watts of the given class when
+// busy at DVFS multiplier mult, or idle.
+func (d *Device) Power(class core.PUClass, mult float64, busy bool) float64 {
+	pu := d.PU(class)
+	if pu == nil {
+		return 0
+	}
+	if !busy {
+		return pu.IdleWatts
+	}
+	if mult <= 0 {
+		mult = 1
+	}
+	dynamic := pu.BusyWatts - pu.IdleWatts
+	if dynamic < 0 {
+		dynamic = 0
+	}
+	return pu.IdleWatts + dynamic*mult*mult*mult
+}
+
+// TDPWatts returns the nominal all-busy draw — a sanity bound for
+// calibration (the Jetson's 25 W / 7 W modes).
+func (d *Device) TDPWatts() float64 {
+	total := d.UncoreWatts
+	for i := range d.PUs {
+		total += d.Power(d.PUs[i].Class, 1, true)
+	}
+	return total
+}

@@ -1,0 +1,177 @@
+package solver
+
+import (
+	"math"
+	"sort"
+
+	"bettertogether/internal/sat"
+)
+
+// This file is the paper's literal constraint encoding (Sec. 3.3) on a
+// boolean satisfiability engine, mirroring the z3 formulation:
+//
+//	x_{i,c}                        decision variables
+//	C1  Σ_c x_{i,c} = 1            at-least-one clause + pairwise AMO
+//	C2  (x_{i,c} ∧ x_{k,c}) → x_{j,c} for i<j<k
+//	C3  chunk-runtime bounds        lazy theory check (below)
+//	C5ℓ blocking clauses            sat.Solver.Block
+//
+// The chunk-sum arithmetic that z3 handles natively is checked lazily:
+// each propositional model is decoded and evaluated; models violating a
+// bound are blocked and the search continues — the counterexample-guided
+// loop an SMT solver runs internally. The branch-and-bound enumeration
+// in solver.go is the primary engine (it is faster); this path exists to
+// cross-validate it, and the tests assert both produce identical
+// solution sets.
+
+// cnfEncoding maps the scheduling problem onto SAT variables.
+type cnfEncoding struct {
+	n, m int
+	s    *sat.Solver
+	vars []int // all decision variables, for blocking
+}
+
+// xvar returns the variable index of x_{i,c}.
+func (e *cnfEncoding) xvar(i, c int) int { return i*e.m + c }
+
+// encodeCNF builds C1 and C2 for an n-stage, m-class problem.
+func encodeCNF(n, m int) *cnfEncoding {
+	e := &cnfEncoding{n: n, m: m, s: sat.New(n * m)}
+	for v := 0; v < n*m; v++ {
+		e.vars = append(e.vars, v)
+	}
+	// C1: exactly one class per stage.
+	for i := 0; i < n; i++ {
+		clause := make([]sat.Lit, m)
+		for c := 0; c < m; c++ {
+			clause[c] = sat.Pos(e.xvar(i, c))
+		}
+		e.s.Add(clause...)
+		for c1 := 0; c1 < m; c1++ {
+			for c2 := c1 + 1; c2 < m; c2++ {
+				e.s.Add(sat.Neg(e.xvar(i, c1)), sat.Neg(e.xvar(i, c2)))
+			}
+		}
+	}
+	// C2: contiguity — a class may not reappear after an interruption.
+	for c := 0; c < m; c++ {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				for k := j + 1; k < n; k++ {
+					e.s.Add(sat.Neg(e.xvar(i, c)), sat.Neg(e.xvar(k, c)), sat.Pos(e.xvar(j, c)))
+				}
+			}
+		}
+	}
+	return e
+}
+
+// decode converts a SAT model into an assignment vector.
+func (e *cnfEncoding) decode(model []bool) []int {
+	assign := make([]int, e.n)
+	for i := 0; i < e.n; i++ {
+		for c := 0; c < e.m; c++ {
+			if model[e.xvar(i, c)] {
+				assign[i] = c
+				break
+			}
+		}
+	}
+	return assign
+}
+
+// evaluate builds the Solution metrics for an assignment.
+func evaluate(p *Problem, assign []int) Solution {
+	var times []float64
+	for i := 0; i < p.N; {
+		j, sum := i, 0.0
+		for j < p.N && assign[j] == assign[i] {
+			sum += p.Time[j][assign[i]]
+			j++
+		}
+		times = append(times, sum)
+		i = j
+	}
+	tmax, tmin := times[0], times[0]
+	for _, t := range times[1:] {
+		tmax = math.Max(tmax, t)
+		tmin = math.Min(tmin, t)
+	}
+	return Solution{
+		Assign:     append([]int(nil), assign...),
+		ChunkTimes: times,
+		TMax:       tmax,
+		TMin:       tmin,
+	}
+}
+
+// satisfiesBounds applies the C3 theory check.
+func satisfiesBounds(s Solution, cons Constraints) bool {
+	for _, ct := range s.ChunkTimes {
+		if cons.ChunkMax > 0 && ct > cons.ChunkMax {
+			return false
+		}
+		if cons.ChunkMin > 0 && ct < cons.ChunkMin {
+			return false
+		}
+	}
+	return true
+}
+
+// EnumerateSAT visits every feasible assignment via propositional model
+// enumeration with lazy theory checking, in an order determined by the
+// SAT search (not the deterministic order of Enumerate). It exists to
+// cross-validate the branch-and-bound engine.
+func EnumerateSAT(p *Problem, cons Constraints, visit func(Solution) bool) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	e := encodeCNF(p.N, p.M)
+	e.s.EnumerateModels(e.vars, func(model []bool) bool {
+		sol := evaluate(p, e.decode(model))
+		if !satisfiesBounds(sol, cons) {
+			return true // theory conflict: block and continue
+		}
+		if cons.Blocked != nil && cons.Blocked[Key(sol.Assign)] {
+			return true
+		}
+		return visit(sol)
+	})
+	return nil
+}
+
+// TopKByLatencySAT is TopKByLatency computed through the SAT path.
+func TopKByLatencySAT(p *Problem, cons Constraints, k int) []Solution {
+	if k <= 0 {
+		return nil
+	}
+	var all []Solution
+	_ = EnumerateSAT(p, cons, func(s Solution) bool {
+		all = append(all, s)
+		return true
+	})
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].TMax != all[b].TMax {
+			return all[a].TMax < all[b].TMax
+		}
+		return Key(all[a].Assign) < Key(all[b].Assign)
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// MinimizeGapnessSAT solves O1 through the SAT path (full enumeration
+// plus external objective), used for cross-validation.
+func MinimizeGapnessSAT(p *Problem, cons Constraints) (Solution, bool) {
+	best := Solution{}
+	found := false
+	_ = EnumerateSAT(p, cons, func(s Solution) bool {
+		if !found || s.Gap() < best.Gap() || (s.Gap() == best.Gap() && s.TMax < best.TMax) {
+			best, found = s, true
+		}
+		return true
+	})
+	return best, found
+}

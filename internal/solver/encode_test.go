@@ -1,0 +1,166 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// collectSAT gathers all SAT-path solutions.
+func collectSAT(t *testing.T, p *Problem, cons Constraints) []Solution {
+	t.Helper()
+	var out []Solution
+	if err := EnumerateSAT(p, cons, func(s Solution) bool {
+		out = append(out, s)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func keySet(sols []Solution) map[string]bool {
+	m := make(map[string]bool, len(sols))
+	for _, s := range sols {
+		m[Key(s.Assign)] = true
+	}
+	return m
+}
+
+// TestSATMatchesBranchAndBoundEnumeration is the cross-validation core:
+// both engines must produce exactly the same feasible set on random
+// instances, with identical metrics per assignment.
+func TestSATMatchesBranchAndBoundEnumeration(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, m := 2+rng.Intn(4), 1+rng.Intn(3)
+		p := &Problem{N: n, M: m, Time: make([][]float64, n)}
+		for i := range p.Time {
+			p.Time[i] = make([]float64, m)
+			for j := range p.Time[i] {
+				p.Time[i][j] = rng.Float64() * 5
+			}
+		}
+		var cons Constraints
+		if rng.Intn(2) == 0 {
+			cons.ChunkMax = 2 + rng.Float64()*8
+		}
+		bb := collectAll(t, p, cons)
+		st := collectSAT(t, p, cons)
+		if len(bb) != len(st) {
+			return false
+		}
+		bbKeys, stKeys := keySet(bb), keySet(st)
+		for k := range bbKeys {
+			if !stKeys[k] {
+				return false
+			}
+		}
+		// Metrics agree per assignment.
+		bbBy := map[string]Solution{}
+		for _, s := range bb {
+			bbBy[Key(s.Assign)] = s
+		}
+		for _, s := range st {
+			o := bbBy[Key(s.Assign)]
+			if math.Abs(o.TMax-s.TMax) > 1e-12 || math.Abs(o.TMin-s.TMin) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopKSATAgreesWithBranchAndBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	p := &Problem{N: 7, M: 4, Time: make([][]float64, 7)}
+	for i := range p.Time {
+		p.Time[i] = make([]float64, 4)
+		for j := range p.Time[i] {
+			p.Time[i][j] = rng.Float64() * 10
+		}
+	}
+	for _, k := range []int{1, 5, 20} {
+		bb := TopKByLatency(p, Constraints{}, k)
+		st := TopKByLatencySAT(p, Constraints{}, k)
+		if len(bb) != len(st) {
+			t.Fatalf("k=%d: lengths %d vs %d", k, len(bb), len(st))
+		}
+		for i := range bb {
+			if Key(bb[i].Assign) != Key(st[i].Assign) {
+				t.Fatalf("k=%d rank %d: %v vs %v", k, i, bb[i].Assign, st[i].Assign)
+			}
+		}
+	}
+	if TopKByLatencySAT(p, Constraints{}, 0) != nil {
+		t.Error("k=0 should be nil")
+	}
+}
+
+func TestMinimizeGapnessSATAgrees(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, m := 2+rng.Intn(4), 1+rng.Intn(3)
+		p := &Problem{N: n, M: m, Time: make([][]float64, n)}
+		for i := range p.Time {
+			p.Time[i] = make([]float64, m)
+			for j := range p.Time[i] {
+				p.Time[i][j] = rng.Float64() * 5
+			}
+		}
+		bb, okBB := MinimizeGapness(p, Constraints{})
+		st, okST := MinimizeGapnessSAT(p, Constraints{})
+		if okBB != okST {
+			return false
+		}
+		if !okBB {
+			return true
+		}
+		// Optimal gap values must agree (the argmin may differ on ties).
+		return math.Abs(bb.Gap()-st.Gap()) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSATBlockingConstraint(t *testing.T) {
+	p := simpleProblem()
+	all := collectSAT(t, p, Constraints{})
+	// Block the two lowest-TMax solutions and re-enumerate.
+	sort.Slice(all, func(a, b int) bool { return all[a].TMax < all[b].TMax })
+	blocked := map[string]bool{Key(all[0].Assign): true, Key(all[1].Assign): true}
+	rest := collectSAT(t, p, Constraints{Blocked: blocked})
+	if len(rest) != len(all)-2 {
+		t.Fatalf("blocking removed %d, want 2", len(all)-len(rest))
+	}
+	for _, s := range rest {
+		if blocked[Key(s.Assign)] {
+			t.Fatal("blocked assignment returned")
+		}
+	}
+}
+
+func TestSATInvalidProblem(t *testing.T) {
+	bad := &Problem{N: 0, M: 1}
+	if err := EnumerateSAT(bad, Constraints{}, func(Solution) bool { return true }); err == nil {
+		t.Error("invalid problem accepted")
+	}
+}
+
+func BenchmarkSATTopK20Paper(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p := &Problem{N: 9, M: 4, Time: make([][]float64, 9)}
+	for i := range p.Time {
+		p.Time[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TopKByLatencySAT(p, Constraints{}, 20)
+	}
+}

@@ -1,0 +1,284 @@
+// Package solver implements the constraint system of BT-Optimizer
+// (paper Sec. 3.3) as a from-scratch branch-and-bound search, standing in
+// for the paper's z3 encoding. The formulation is identical:
+//
+//	C1   exactly one PU class per stage (by construction of the
+//	     assignment vector)
+//	C2   contiguity — stages on one class form a single chunk
+//	C3a  every chunk's summed runtime <= ChunkMax
+//	C3b  every chunk's summed runtime >= ChunkMin
+//	C5ℓ  blocking clauses excluding previously returned assignments
+//	O1   minimize gapness = T_max − T_min over chunk runtimes
+//
+// The search tree branches per stage on "extend the current chunk" vs
+// "open a new chunk on an unused class", which bakes C1 and C2 into the
+// tree shape; C3 prunes partial branches; objectives prune with
+// incumbent bounds. For the paper's scale (N=9 stages, M=4 classes) the
+// feasible space is ~2×10³ leaves and every query solves in well under a
+// millisecond — comfortably beating the paper's <50 ms z3 budget.
+package solver
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Problem is a scheduling instance: Time[i][c] is the profiled latency of
+// stage i on class c (any consistent time unit).
+type Problem struct {
+	N, M int
+	Time [][]float64
+}
+
+// Validate checks the instance's shape.
+func (p *Problem) Validate() error {
+	if p.N <= 0 || p.M <= 0 {
+		return fmt.Errorf("solver: need positive N and M, got %d, %d", p.N, p.M)
+	}
+	if p.M > 30 {
+		return fmt.Errorf("solver: class bitmask supports at most 30 classes, got %d", p.M)
+	}
+	if len(p.Time) != p.N {
+		return fmt.Errorf("solver: time table has %d rows, want %d", len(p.Time), p.N)
+	}
+	for i, row := range p.Time {
+		if len(row) != p.M {
+			return fmt.Errorf("solver: row %d has %d entries, want %d", i, len(row), p.M)
+		}
+		for c, v := range row {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("solver: time[%d][%d] = %v invalid", i, c, v)
+			}
+		}
+	}
+	return nil
+}
+
+// Constraints hold the optional bounds and blocking clauses.
+type Constraints struct {
+	// ChunkMax bounds every chunk's summed runtime from above (C3a);
+	// 0 disables the bound.
+	ChunkMax float64
+	// ChunkMin bounds every chunk's summed runtime from below (C3b);
+	// 0 disables the bound.
+	ChunkMin float64
+	// Blocked excludes assignments by canonical Key (C5ℓ).
+	Blocked map[string]bool
+}
+
+// Solution is one feasible assignment with its chunk metrics.
+type Solution struct {
+	// Assign[i] is the class index of stage i.
+	Assign []int
+	// ChunkTimes are the summed runtimes of the maximal chunks in order.
+	ChunkTimes []float64
+	// TMax and TMin are the extreme chunk runtimes. TMax is the
+	// predicted pipeline latency (bottleneck period); TMax−TMin is the
+	// gapness.
+	TMax, TMin float64
+}
+
+// Gap returns the gapness objective O1.
+func (s Solution) Gap() float64 { return s.TMax - s.TMin }
+
+// Key returns the canonical blocking-clause key of an assignment.
+func Key(assign []int) string {
+	var b strings.Builder
+	for i, a := range assign {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(a))
+	}
+	return b.String()
+}
+
+// Enumerate visits every assignment satisfying C1, C2, C3 and the
+// blocking set, in deterministic order. visit returning false stops the
+// enumeration early. prune, when non-nil, is consulted at each branch
+// with the partial state (stage index, max and min over *closed* chunks,
+// current chunk's running sum); returning true abandons the subtree —
+// objective searches use it for incumbent bounds.
+func Enumerate(p *Problem, cons Constraints, prune func(stage int, closedMax, closedMin, curSum float64) bool, visit func(Solution) bool) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	assign := make([]int, p.N)
+	chunkTimes := make([]float64, 0, p.M)
+
+	closeOK := func(sum float64) bool {
+		return cons.ChunkMin == 0 || sum >= cons.ChunkMin
+	}
+	fitsMax := func(sum float64) bool {
+		return cons.ChunkMax == 0 || sum <= cons.ChunkMax
+	}
+
+	stop := false
+	var rec func(stage int, usedMask int, cur int, curSum, closedMax, closedMin float64)
+	rec = func(stage int, usedMask int, cur int, curSum, closedMax, closedMin float64) {
+		if stop {
+			return
+		}
+		if prune != nil && prune(stage, closedMax, closedMin, curSum) {
+			return
+		}
+		if stage == p.N {
+			if !closeOK(curSum) {
+				return
+			}
+			times := append(append([]float64(nil), chunkTimes...), curSum)
+			tmax, tmin := times[0], times[0]
+			for _, t := range times[1:] {
+				tmax = math.Max(tmax, t)
+				tmin = math.Min(tmin, t)
+			}
+			sol := Solution{
+				Assign:     append([]int(nil), assign...),
+				ChunkTimes: times,
+				TMax:       tmax,
+				TMin:       tmin,
+			}
+			if cons.Blocked != nil && cons.Blocked[Key(sol.Assign)] {
+				return
+			}
+			if !visit(sol) {
+				stop = true
+			}
+			return
+		}
+		// Branch 1: extend the current chunk on the same class.
+		if ext := curSum + p.Time[stage][cur]; fitsMax(ext) {
+			assign[stage] = cur
+			rec(stage+1, usedMask, cur, ext, closedMax, closedMin)
+		}
+		// Branch 2: close the current chunk, open a new one on any
+		// unused class (C2: a class never reopens).
+		if !closeOK(curSum) {
+			return
+		}
+		newMax := math.Max(closedMax, curSum)
+		newMin := math.Min(closedMin, curSum)
+		chunkTimes = append(chunkTimes, curSum)
+		for c := 0; c < p.M; c++ {
+			if usedMask&(1<<c) != 0 {
+				continue
+			}
+			if t := p.Time[stage][c]; fitsMax(t) {
+				assign[stage] = c
+				rec(stage+1, usedMask|1<<c, c, t, newMax, newMin)
+			}
+		}
+		chunkTimes = chunkTimes[:len(chunkTimes)-1]
+	}
+
+	// Root: the first stage opens the first chunk on any class.
+	for c := 0; c < p.M && !stop; c++ {
+		if t := p.Time[0][c]; fitsMax(t) {
+			assign[0] = c
+			// closedMax/Min start at ±empty sentinels folded via the
+			// first closed chunk; use -Inf/+Inf so Max/Min work.
+			rec(1, 1<<c, c, t, math.Inf(-1), math.Inf(1))
+		}
+	}
+	return nil
+}
+
+// MinimizeGapness solves objective O1: the feasible assignment with the
+// smallest T_max − T_min, branch-and-bound pruned by the incumbent (a
+// partial branch whose closed-chunk spread already exceeds the incumbent
+// gap cannot recover). Ties break toward lower TMax, then first found.
+// ok is false when no feasible assignment exists.
+func MinimizeGapness(p *Problem, cons Constraints) (best Solution, ok bool) {
+	bestGap := math.Inf(1)
+	err := Enumerate(p, cons,
+		func(stage int, closedMax, closedMin, curSum float64) bool {
+			if math.IsInf(closedMax, -1) {
+				return false
+			}
+			spread := closedMax - closedMin
+			// The running chunk can only push the spread further once it
+			// exceeds the closed max.
+			if curSum > closedMax {
+				spread = math.Max(spread, curSum-closedMin)
+			}
+			return spread > bestGap
+		},
+		func(s Solution) bool {
+			if g := s.Gap(); g < bestGap || (g == bestGap && ok && s.TMax < best.TMax) {
+				best, ok, bestGap = s, true, g
+			}
+			return true
+		})
+	if err != nil {
+		return Solution{}, false
+	}
+	return best, ok
+}
+
+// MinimizeLatency finds the feasible assignment with the smallest TMax,
+// pruning branches whose partial bottleneck already exceeds the
+// incumbent.
+func MinimizeLatency(p *Problem, cons Constraints) (best Solution, ok bool) {
+	bestT := math.Inf(1)
+	err := Enumerate(p, cons,
+		func(stage int, closedMax, closedMin, curSum float64) bool {
+			return math.Max(closedMax, curSum) >= bestT
+		},
+		func(s Solution) bool {
+			if s.TMax < bestT {
+				best, ok, bestT = s, true, s.TMax
+			}
+			return true
+		})
+	if err != nil {
+		return Solution{}, false
+	}
+	return best, ok
+}
+
+// TopKByLatency returns up to k feasible assignments with the smallest
+// TMax, ascending (ties broken by assignment key for determinism). It
+// reproduces the paper's optimization two: repeated solving with
+// blocking clauses C5ℓ — implemented as one pruned enumeration with a
+// bounded incumbent set, which visits exactly the assignments the
+// iterative blocking loop would.
+func TopKByLatency(p *Problem, cons Constraints, k int) []Solution {
+	if k <= 0 {
+		return nil
+	}
+	var top []Solution
+	worse := func(a, b Solution) bool {
+		if a.TMax != b.TMax {
+			return a.TMax > b.TMax
+		}
+		return Key(a.Assign) > Key(b.Assign)
+	}
+	bound := math.Inf(1)
+	_ = Enumerate(p, cons,
+		func(stage int, closedMax, closedMin, curSum float64) bool {
+			return math.Max(closedMax, curSum) > bound
+		},
+		func(s Solution) bool {
+			if len(top) == k && s.TMax >= bound && worse(s, top[len(top)-1]) {
+				return true
+			}
+			// Insert in sorted position.
+			pos := len(top)
+			for pos > 0 && worse(top[pos-1], s) {
+				pos--
+			}
+			top = append(top, Solution{})
+			copy(top[pos+1:], top[pos:])
+			top[pos] = s
+			if len(top) > k {
+				top = top[:k]
+			}
+			if len(top) == k {
+				bound = top[len(top)-1].TMax
+			}
+			return true
+		})
+	return top
+}

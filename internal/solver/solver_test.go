@@ -1,0 +1,352 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func simpleProblem() *Problem {
+	// 3 stages, 2 classes.
+	return &Problem{N: 3, M: 2, Time: [][]float64{
+		{1, 4},
+		{2, 1},
+		{3, 1},
+	}}
+}
+
+func collectAll(t *testing.T, p *Problem, cons Constraints) []Solution {
+	t.Helper()
+	var out []Solution
+	if err := Enumerate(p, cons, nil, func(s Solution) bool {
+		out = append(out, s)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// bruteCount counts contiguous assignments by direct construction:
+// compositions of N into k parts × ordered injections of classes.
+func bruteCount(n, m int) int {
+	// comps(n, k) = C(n-1, k-1); perms = m!/(m-k)!
+	binom := func(a, b int) int {
+		if b < 0 || b > a {
+			return 0
+		}
+		r := 1
+		for i := 0; i < b; i++ {
+			r = r * (a - i) / (i + 1)
+		}
+		return r
+	}
+	total := 0
+	perm := 1
+	for k := 1; k <= m && k <= n; k++ {
+		perm *= m - k + 1
+		total += binom(n-1, k-1) * perm
+	}
+	return total
+}
+
+func TestEnumerateCountsMatchCombinatorics(t *testing.T) {
+	for _, c := range []struct{ n, m int }{{3, 2}, {4, 3}, {9, 4}, {7, 4}, {5, 1}} {
+		p := &Problem{N: c.n, M: c.m, Time: make([][]float64, c.n)}
+		for i := range p.Time {
+			p.Time[i] = make([]float64, c.m)
+			for j := range p.Time[i] {
+				p.Time[i][j] = 1
+			}
+		}
+		got := len(collectAll(t, p, Constraints{}))
+		want := bruteCount(c.n, c.m)
+		if got != want {
+			t.Errorf("N=%d M=%d: enumerated %d, combinatorics says %d", c.n, c.m, got, want)
+		}
+	}
+}
+
+func TestEnumerateContiguityInvariant(t *testing.T) {
+	p := &Problem{N: 6, M: 3, Time: make([][]float64, 6)}
+	rng := rand.New(rand.NewSource(1))
+	for i := range p.Time {
+		p.Time[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	for _, s := range collectAll(t, p, Constraints{}) {
+		seen := map[int]bool{}
+		for i := 0; i < len(s.Assign); i++ {
+			c := s.Assign[i]
+			if i == 0 || s.Assign[i-1] != c {
+				if seen[c] {
+					t.Fatalf("class %d reopens in %v", c, s.Assign)
+				}
+				seen[c] = true
+			}
+		}
+	}
+}
+
+func TestChunkTimesConsistent(t *testing.T) {
+	p := simpleProblem()
+	for _, s := range collectAll(t, p, Constraints{}) {
+		// Recompute chunk times from the assignment.
+		var want []float64
+		for i := 0; i < p.N; {
+			j, sum := i, 0.0
+			for j < p.N && s.Assign[j] == s.Assign[i] {
+				sum += p.Time[j][s.Assign[i]]
+				j++
+			}
+			want = append(want, sum)
+			i = j
+		}
+		if len(want) != len(s.ChunkTimes) {
+			t.Fatalf("chunk count mismatch: %v vs %v", s.ChunkTimes, want)
+		}
+		tmax, tmin := want[0], want[0]
+		for i := range want {
+			if math.Abs(want[i]-s.ChunkTimes[i]) > 1e-12 {
+				t.Fatalf("chunk times %v, want %v", s.ChunkTimes, want)
+			}
+			tmax = math.Max(tmax, want[i])
+			tmin = math.Min(tmin, want[i])
+		}
+		if s.TMax != tmax || s.TMin != tmin {
+			t.Fatalf("TMax/TMin inconsistent")
+		}
+	}
+}
+
+func TestChunkBoundsC3(t *testing.T) {
+	p := simpleProblem()
+	sols := collectAll(t, p, Constraints{ChunkMax: 3})
+	if len(sols) == 0 {
+		t.Fatal("no solutions under ChunkMax=3")
+	}
+	for _, s := range sols {
+		for _, ct := range s.ChunkTimes {
+			if ct > 3 {
+				t.Fatalf("ChunkMax violated: %v", s.ChunkTimes)
+			}
+		}
+	}
+	sols = collectAll(t, p, Constraints{ChunkMin: 2})
+	for _, s := range sols {
+		for _, ct := range s.ChunkTimes {
+			if ct < 2 {
+				t.Fatalf("ChunkMin violated: %v", s.ChunkTimes)
+			}
+		}
+	}
+	// Infeasible bounds yield no solutions.
+	if got := collectAll(t, p, Constraints{ChunkMax: 0.5}); len(got) != 0 {
+		t.Fatalf("expected infeasible, got %d solutions", len(got))
+	}
+}
+
+func TestBlockingClausesC5(t *testing.T) {
+	p := simpleProblem()
+	all := collectAll(t, p, Constraints{})
+	blocked := map[string]bool{Key(all[0].Assign): true, Key(all[1].Assign): true}
+	rest := collectAll(t, p, Constraints{Blocked: blocked})
+	if len(rest) != len(all)-2 {
+		t.Fatalf("blocking removed %d, want 2", len(all)-len(rest))
+	}
+	for _, s := range rest {
+		if blocked[Key(s.Assign)] {
+			t.Fatal("blocked assignment returned")
+		}
+	}
+}
+
+func TestMinimizeLatency(t *testing.T) {
+	p := simpleProblem()
+	best, ok := MinimizeLatency(p, Constraints{})
+	if !ok {
+		t.Fatal("no solution")
+	}
+	// Exhaustive check.
+	for _, s := range collectAll(t, p, Constraints{}) {
+		if s.TMax < best.TMax {
+			t.Fatalf("found better TMax %v < %v (%v)", s.TMax, best.TMax, s.Assign)
+		}
+	}
+	// Known optimum: stage0 on c0 (1), stages 1-2 on c1 (2) → TMax 2.
+	if best.TMax != 2 {
+		t.Errorf("best TMax = %v, want 2", best.TMax)
+	}
+}
+
+func TestMinimizeGapness(t *testing.T) {
+	p := simpleProblem()
+	best, ok := MinimizeGapness(p, Constraints{})
+	if !ok {
+		t.Fatal("no solution")
+	}
+	for _, s := range collectAll(t, p, Constraints{}) {
+		if s.Gap() < best.Gap() {
+			t.Fatalf("found better gap %v < %v (%v)", s.Gap(), best.Gap(), s.Assign)
+		}
+	}
+	// Single-chunk schedules have gap 0, so the optimum is 0.
+	if best.Gap() != 0 {
+		t.Errorf("gap = %v, want 0", best.Gap())
+	}
+}
+
+func TestMinimizeGapnessPreferredOverLatencyTies(t *testing.T) {
+	// Among equal-gap solutions the solver prefers lower TMax.
+	p := &Problem{N: 2, M: 2, Time: [][]float64{
+		{5, 1},
+		{5, 1},
+	}}
+	best, ok := MinimizeGapness(p, Constraints{})
+	if !ok {
+		t.Fatal("no solution")
+	}
+	if best.Gap() != 0 || best.TMax != 2 {
+		t.Errorf("best = gap %v TMax %v, want 0 / 2 (all on fast class)", best.Gap(), best.TMax)
+	}
+}
+
+func TestTopKByLatency(t *testing.T) {
+	p := simpleProblem()
+	all := collectAll(t, p, Constraints{})
+	for k := 1; k <= len(all)+2; k++ {
+		top := TopKByLatency(p, Constraints{}, k)
+		wantLen := k
+		if wantLen > len(all) {
+			wantLen = len(all)
+		}
+		if len(top) != wantLen {
+			t.Fatalf("k=%d: got %d", k, len(top))
+		}
+		for i := 1; i < len(top); i++ {
+			if top[i].TMax < top[i-1].TMax {
+				t.Fatalf("k=%d: not ascending", k)
+			}
+		}
+		// Optimality: the k-th TMax must not exceed any excluded one.
+		if len(top) == k {
+			excluded := map[string]bool{}
+			for _, s := range top {
+				excluded[Key(s.Assign)] = true
+			}
+			for _, s := range all {
+				if !excluded[Key(s.Assign)] && s.TMax < top[len(top)-1].TMax {
+					t.Fatalf("k=%d: missed better solution %v (%v < %v)",
+						k, s.Assign, s.TMax, top[len(top)-1].TMax)
+				}
+			}
+		}
+	}
+	if TopKByLatency(p, Constraints{}, 0) != nil {
+		t.Error("k=0 should be nil")
+	}
+}
+
+func TestTopKDeterministic(t *testing.T) {
+	p := &Problem{N: 9, M: 4, Time: make([][]float64, 9)}
+	rng := rand.New(rand.NewSource(3))
+	for i := range p.Time {
+		p.Time[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	a := TopKByLatency(p, Constraints{}, 20)
+	b := TopKByLatency(p, Constraints{}, 20)
+	if len(a) != 20 || len(b) != 20 {
+		t.Fatalf("lens %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if Key(a[i].Assign) != Key(b[i].Assign) {
+			t.Fatal("non-deterministic ranking")
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []*Problem{
+		{N: 0, M: 2},
+		{N: 2, M: 0},
+		{N: 2, M: 31},
+		{N: 2, M: 2, Time: [][]float64{{1, 2}}},
+		{N: 1, M: 2, Time: [][]float64{{1}}},
+		{N: 1, M: 1, Time: [][]float64{{-1}}},
+		{N: 1, M: 1, Time: [][]float64{{math.NaN()}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid problem accepted", i)
+		}
+		if err := Enumerate(p, Constraints{}, nil, func(Solution) bool { return true }); err == nil {
+			t.Errorf("case %d: Enumerate accepted invalid problem", i)
+		}
+	}
+}
+
+func TestKey(t *testing.T) {
+	if Key([]int{1, 2, 10}) != "1,2,10" {
+		t.Errorf("Key = %q", Key([]int{1, 2, 10}))
+	}
+	if Key(nil) != "" {
+		t.Error("empty key")
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	p := simpleProblem()
+	count := 0
+	_ = Enumerate(p, Constraints{}, nil, func(Solution) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Errorf("visited %d, want 2", count)
+	}
+}
+
+// Property: for random tables, MinimizeLatency agrees with exhaustive
+// search and every enumerated solution is feasible.
+func TestMinimizeLatencyAgainstExhaustive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, m := 2+rng.Intn(6), 1+rng.Intn(4)
+		p := &Problem{N: n, M: m, Time: make([][]float64, n)}
+		for i := range p.Time {
+			p.Time[i] = make([]float64, m)
+			for j := range p.Time[i] {
+				p.Time[i][j] = rng.Float64() * 10
+			}
+		}
+		best, ok := MinimizeLatency(p, Constraints{})
+		if !ok {
+			return m == 0
+		}
+		exhaustiveBest := math.Inf(1)
+		var sols []Solution
+		_ = Enumerate(p, Constraints{}, nil, func(s Solution) bool {
+			sols = append(sols, s)
+			exhaustiveBest = math.Min(exhaustiveBest, s.TMax)
+			return true
+		})
+		return math.Abs(best.TMax-exhaustiveBest) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkTopK20Paper(b *testing.B) {
+	// The paper's Pixel case: N=9 stages, M=4 classes. Must stay far
+	// under the paper's 50 ms z3 budget.
+	rng := rand.New(rand.NewSource(1))
+	p := &Problem{N: 9, M: 4, Time: make([][]float64, 9)}
+	for i := range p.Time {
+		p.Time[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TopKByLatency(p, Constraints{}, 20)
+	}
+}

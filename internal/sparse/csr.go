@@ -1,0 +1,212 @@
+// Package sparse provides the Compressed Sparse Row substrate for the
+// AlexNet-sparse workload (paper Sec. 4.1). The paper prunes AlexNet's
+// convolutional layers with Condensa and stores the weight tensors in CSR;
+// we reproduce that with deterministic structured pruning of synthetic
+// weights. The resulting irregular, indirection-heavy inner loops are what
+// make the sparse variant scheduling-interesting: they favor out-of-order
+// CPU cores over lockstep GPU lanes.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CSR is a compressed-sparse-row float32 matrix.
+//
+// Row i's nonzeros are Val[RowPtr[i]:RowPtr[i+1]] in columns
+// Col[RowPtr[i]:RowPtr[i+1]], with column indices strictly increasing
+// within a row.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int32
+	Col        []int32
+	Val        []float32
+}
+
+// NewCSR builds an empty matrix with the given shape.
+func NewCSR(rows, cols int) *CSR {
+	return &CSR{Rows: rows, Cols: cols, RowPtr: make([]int32, rows+1)}
+}
+
+// NNZ returns the number of stored nonzeros.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// Density returns NNZ / (Rows*Cols).
+func (m *CSR) Density() float64 {
+	if m.Rows == 0 || m.Cols == 0 {
+		return 0
+	}
+	return float64(m.NNZ()) / (float64(m.Rows) * float64(m.Cols))
+}
+
+// Validate checks the CSR structural invariants: monotone row pointers,
+// in-bounds and strictly increasing column indices per row.
+func (m *CSR) Validate() error {
+	if len(m.RowPtr) != m.Rows+1 {
+		return fmt.Errorf("sparse: RowPtr length %d, want %d", len(m.RowPtr), m.Rows+1)
+	}
+	if m.RowPtr[0] != 0 {
+		return fmt.Errorf("sparse: RowPtr[0] = %d, want 0", m.RowPtr[0])
+	}
+	if int(m.RowPtr[m.Rows]) != len(m.Val) || len(m.Val) != len(m.Col) {
+		return fmt.Errorf("sparse: inconsistent nnz: rowptr %d, val %d, col %d",
+			m.RowPtr[m.Rows], len(m.Val), len(m.Col))
+	}
+	for i := 0; i < m.Rows; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		if lo > hi {
+			return fmt.Errorf("sparse: row %d has negative extent", i)
+		}
+		prev := int32(-1)
+		for p := lo; p < hi; p++ {
+			c := m.Col[p]
+			if c < 0 || int(c) >= m.Cols {
+				return fmt.Errorf("sparse: row %d column %d out of range", i, c)
+			}
+			if c <= prev {
+				return fmt.Errorf("sparse: row %d columns not strictly increasing", i)
+			}
+			prev = c
+		}
+	}
+	return nil
+}
+
+// FromDense converts a row-major dense matrix to CSR, dropping exact
+// zeros.
+func FromDense(dense []float32, rows, cols int) *CSR {
+	if len(dense) != rows*cols {
+		panic(fmt.Sprintf("sparse: dense size %d != %d*%d", len(dense), rows, cols))
+	}
+	m := NewCSR(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if v := dense[i*cols+j]; v != 0 {
+				m.Col = append(m.Col, int32(j))
+				m.Val = append(m.Val, v)
+			}
+		}
+		m.RowPtr[i+1] = int32(len(m.Val))
+	}
+	return m
+}
+
+// ToDense expands the matrix to a row-major dense slice.
+func (m *CSR) ToDense() []float32 {
+	out := make([]float32, m.Rows*m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			out[i*m.Cols+int(m.Col[p])] = m.Val[p]
+		}
+	}
+	return out
+}
+
+// At returns element (i, j) via binary search over row i's columns.
+func (m *CSR) At(i, j int) float32 {
+	lo, hi := int(m.RowPtr[i]), int(m.RowPtr[i+1])
+	seg := m.Col[lo:hi]
+	k := sort.Search(len(seg), func(x int) bool { return seg[x] >= int32(j) })
+	if k < len(seg) && seg[k] == int32(j) {
+		return m.Val[lo+k]
+	}
+	return 0
+}
+
+// SpMV computes dst = m × x for a dense vector x of length Cols.
+func (m *CSR) SpMV(dst, x []float32) {
+	m.SpMVRange(dst, x, 0, m.Rows)
+}
+
+// SpMVRange computes rows [rLo, rHi) of dst = m × x. The row split is the
+// unit of parallelism for worker pools; rows have uneven nonzero counts,
+// which is exactly the load imbalance that hurts lockstep GPU execution.
+func (m *CSR) SpMVRange(dst, x []float32, rLo, rHi int) {
+	for i := rLo; i < rHi; i++ {
+		var acc float32
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			acc += m.Val[p] * x[m.Col[p]]
+		}
+		dst[i] = acc
+	}
+}
+
+// SpMM computes C = m × B where B is dense k×n row-major (k = m.Cols) and
+// C is dense Rows×n row-major. This is the sparse-weights × im2col-columns
+// product that implements sparse convolution.
+func (m *CSR) SpMM(c, b []float32, n int) {
+	m.SpMMRange(c, b, n, 0, m.Rows)
+}
+
+// SpMMRange computes output rows [rLo, rHi) of C = m × B.
+func (m *CSR) SpMMRange(c, b []float32, n int, rLo, rHi int) {
+	for i := rLo; i < rHi; i++ {
+		ci := c[i*n : (i+1)*n]
+		for x := range ci {
+			ci[x] = 0
+		}
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			v := m.Val[p]
+			brow := b[int(m.Col[p])*n : (int(m.Col[p])+1)*n]
+			for j := 0; j < n; j++ {
+				ci[j] += v * brow[j]
+			}
+		}
+	}
+}
+
+// RowNNZ returns the nonzero count of row i.
+func (m *CSR) RowNNZ(i int) int { return int(m.RowPtr[i+1] - m.RowPtr[i]) }
+
+// Imbalance returns max-row-nnz / mean-row-nnz, a measure of the load
+// imbalance a lockstep execution of one row per lane would suffer.
+func (m *CSR) Imbalance() float64 {
+	if m.Rows == 0 || m.NNZ() == 0 {
+		return 1
+	}
+	maxN := 0
+	for i := 0; i < m.Rows; i++ {
+		if n := m.RowNNZ(i); n > maxN {
+			maxN = n
+		}
+	}
+	mean := float64(m.NNZ()) / float64(m.Rows)
+	return float64(maxN) / mean
+}
+
+// Prune returns a copy of dense with the smallest-magnitude fraction
+// `sparsity` of each row's weights zeroed (per-row magnitude pruning —
+// the "structured" pruning shape Condensa applies to conv layers, which
+// keeps rows non-empty and bounds imbalance). sparsity must be in [0, 1).
+func Prune(dense []float32, rows, cols int, sparsity float64) []float32 {
+	if sparsity < 0 || sparsity >= 1 {
+		panic(fmt.Sprintf("sparse: sparsity %v out of [0,1)", sparsity))
+	}
+	out := make([]float32, len(dense))
+	copy(out, dense)
+	drop := int(math.Floor(sparsity * float64(cols)))
+	if drop == 0 {
+		return out
+	}
+	idx := make([]int, cols)
+	for i := 0; i < rows; i++ {
+		row := out[i*cols : (i+1)*cols]
+		for j := range idx {
+			idx[j] = j
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			va := math.Abs(float64(row[idx[a]]))
+			vb := math.Abs(float64(row[idx[b]]))
+			if va != vb {
+				return va < vb
+			}
+			return idx[a] < idx[b]
+		})
+		for _, j := range idx[:drop] {
+			row[j] = 0
+		}
+	}
+	return out
+}

@@ -1,0 +1,269 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomDense(rng *rand.Rand, rows, cols int, density float64) []float32 {
+	d := make([]float32, rows*cols)
+	for i := range d {
+		if rng.Float64() < density {
+			d[i] = rng.Float32()*2 - 1
+		}
+	}
+	return d
+}
+
+func TestFromDenseToDenseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(10), 1+rng.Intn(10)
+		dense := randomDense(rng, rows, cols, 0.4)
+		m := FromDense(dense, rows, cols)
+		if err := m.Validate(); err != nil {
+			return false
+		}
+		back := m.ToDense()
+		for i := range dense {
+			if dense[i] != back[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromDensePanicsOnSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	FromDense([]float32{1, 2, 3}, 2, 2)
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	m := FromDense([]float32{1, 0, 0, 2}, 2, 2)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("valid matrix rejected: %v", err)
+	}
+	cases := []func(*CSR){
+		func(m *CSR) { m.RowPtr[0] = 1 },                  // bad origin
+		func(m *CSR) { m.RowPtr[2] = 99 },                 // nnz mismatch
+		func(m *CSR) { m.Col[0] = -1 },                    // column underflow
+		func(m *CSR) { m.Col[0] = int32(m.Cols) },         // column overflow
+		func(m *CSR) { m.RowPtr[1] = 2; m.RowPtr[2] = 1 }, // negative extent
+	}
+	for i, corrupt := range cases {
+		c := FromDense([]float32{1, 3, 0, 2}, 2, 2)
+		corrupt(c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: corruption not detected", i)
+		}
+	}
+	// Non-increasing columns within a row.
+	dup := FromDense([]float32{1, 3, 0, 2}, 2, 2)
+	dup.Col[1] = dup.Col[0]
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate column not detected")
+	}
+}
+
+func TestAt(t *testing.T) {
+	dense := []float32{0, 5, 0, 7, 0, 9}
+	m := FromDense(dense, 2, 3)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if got, want := m.At(i, j), dense[i*3+j]; got != want {
+				t.Errorf("At(%d,%d) = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestSpMVMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(20), 1+rng.Intn(20)
+		dense := randomDense(rng, rows, cols, 0.3)
+		x := make([]float32, cols)
+		for i := range x {
+			x[i] = rng.Float32()
+		}
+		m := FromDense(dense, rows, cols)
+		got := make([]float32, rows)
+		m.SpMV(got, x)
+		for i := 0; i < rows; i++ {
+			var want float32
+			for j := 0; j < cols; j++ {
+				want += dense[i*cols+j] * x[j]
+			}
+			if math.Abs(float64(got[i]-want)) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpMVRangePartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const rows, cols = 17, 13
+	dense := randomDense(rng, rows, cols, 0.3)
+	x := make([]float32, cols)
+	for i := range x {
+		x[i] = rng.Float32()
+	}
+	m := FromDense(dense, rows, cols)
+	full := make([]float32, rows)
+	m.SpMV(full, x)
+	split := make([]float32, rows)
+	m.SpMVRange(split, x, 0, 6)
+	m.SpMVRange(split, x, 6, 17)
+	for i := range full {
+		if full[i] != split[i] {
+			t.Fatalf("partitioned SpMV differs at row %d", i)
+		}
+	}
+}
+
+func TestSpMMMatchesDenseGemm(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const rows, k, n = 8, 10, 6
+	denseA := randomDense(rng, rows, k, 0.4)
+	b := make([]float32, k*n)
+	for i := range b {
+		b[i] = rng.Float32()
+	}
+	m := FromDense(denseA, rows, k)
+	got := make([]float32, rows*n)
+	m.SpMM(got, b, n)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < n; j++ {
+			var want float32
+			for p := 0; p < k; p++ {
+				want += denseA[i*k+p] * b[p*n+j]
+			}
+			if math.Abs(float64(got[i*n+j]-want)) > 1e-4 {
+				t.Fatalf("SpMM(%d,%d) = %v, want %v", i, j, got[i*n+j], want)
+			}
+		}
+	}
+}
+
+func TestSpMMRangeOverwrites(t *testing.T) {
+	// SpMMRange must overwrite its band of C, not accumulate.
+	m := FromDense([]float32{2}, 1, 1)
+	b := []float32{3}
+	c := []float32{100}
+	m.SpMMRange(c, b, 1, 0, 1)
+	if c[0] != 6 {
+		t.Errorf("SpMM did not overwrite: %v", c[0])
+	}
+}
+
+func TestPruneSparsityLevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const rows, cols = 12, 40
+	dense := make([]float32, rows*cols)
+	for i := range dense {
+		dense[i] = rng.Float32() + 0.01 // all nonzero
+	}
+	pruned := Prune(dense, rows, cols, 0.8)
+	m := FromDense(pruned, rows, cols)
+	// Per-row pruning drops floor(0.8*40)=32 of 40 → density 0.2 exactly.
+	if d := m.Density(); math.Abs(d-0.2) > 1e-9 {
+		t.Errorf("density after 80%% pruning = %v, want 0.2", d)
+	}
+	for i := 0; i < rows; i++ {
+		if m.RowNNZ(i) != 8 {
+			t.Errorf("row %d nnz = %d, want 8 (structured pruning keeps rows balanced)", i, m.RowNNZ(i))
+		}
+	}
+}
+
+func TestPruneKeepsLargestMagnitudes(t *testing.T) {
+	dense := []float32{0.1, -5, 0.2, 4} // one row
+	pruned := Prune(dense, 1, 4, 0.5)   // drop 2 smallest |w|
+	want := []float32{0, -5, 0, 4}
+	for i := range want {
+		if pruned[i] != want[i] {
+			t.Fatalf("Prune = %v, want %v", pruned, want)
+		}
+	}
+}
+
+func TestPruneZeroSparsityIsIdentity(t *testing.T) {
+	dense := []float32{1, 2, 3, 4}
+	out := Prune(dense, 2, 2, 0)
+	for i := range dense {
+		if out[i] != dense[i] {
+			t.Fatal("zero sparsity must not change weights")
+		}
+	}
+	// And must not alias the input.
+	out[0] = 99
+	if dense[0] == 99 {
+		t.Fatal("Prune must copy")
+	}
+}
+
+func TestPrunePanicsOnBadSparsity(t *testing.T) {
+	for _, s := range []float64{-0.1, 1.0, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("sparsity %v should panic", s)
+				}
+			}()
+			Prune([]float32{1}, 1, 1, s)
+		}()
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	// Row 0 has 3 nnz, row 1 has 1 → mean 2, max 3 → imbalance 1.5.
+	m := FromDense([]float32{1, 2, 3, 0, 0, 4}, 2, 3)
+	if got := m.Imbalance(); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("Imbalance = %v, want 1.5", got)
+	}
+	empty := NewCSR(3, 3)
+	if empty.Imbalance() != 1 {
+		t.Error("empty matrix imbalance should be 1")
+	}
+}
+
+func TestDensityEdgeCases(t *testing.T) {
+	if NewCSR(0, 0).Density() != 0 {
+		t.Error("0x0 density should be 0")
+	}
+	m := FromDense([]float32{1, 0, 0, 0}, 2, 2)
+	if m.Density() != 0.25 {
+		t.Errorf("density = %v, want 0.25", m.Density())
+	}
+}
+
+func BenchmarkSpMV(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const rows, cols = 256, 1024
+	dense := randomDense(rng, rows, cols, 0.2)
+	m := FromDense(dense, rows, cols)
+	x := make([]float32, cols)
+	for i := range x {
+		x[i] = rng.Float32()
+	}
+	dst := make([]float32, rows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.SpMV(dst, x)
+	}
+}

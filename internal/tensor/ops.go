@@ -1,0 +1,116 @@
+package tensor
+
+// Gemm computes C = A × B for row-major dense matrices:
+// A is m×k, B is k×n, C is m×n. C is overwritten.
+// The k-inner loop is ordered for sequential access on both A and B rows
+// (ikj loop order), the standard cache-friendly formulation.
+func Gemm(c, a, b []float32, m, n, k int) {
+	for i := 0; i < m; i++ {
+		ci := c[i*n : (i+1)*n]
+		for x := range ci {
+			ci[x] = 0
+		}
+		ai := a[i*k : (i+1)*k]
+		for p := 0; p < k; p++ {
+			av := ai[p]
+			if av == 0 {
+				continue
+			}
+			bp := b[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				ci[j] += av * bp[j]
+			}
+		}
+	}
+}
+
+// PoolSpec describes 2-D max pooling over CHW data.
+type PoolSpec struct {
+	C, H, W int
+	Kernel  int
+	Stride  int
+}
+
+// OutH returns the pooled output height.
+func (s PoolSpec) OutH() int { return (s.H-s.Kernel)/s.Stride + 1 }
+
+// OutW returns the pooled output width.
+func (s PoolSpec) OutW() int { return (s.W-s.Kernel)/s.Stride + 1 }
+
+// MaxPool2D max-pools all channels of src [C, H, W] into dst [C, OH, OW].
+func MaxPool2D(spec PoolSpec, dst, src *Tensor) {
+	MaxPool2DRange(spec, dst, src, 0, spec.C)
+}
+
+// MaxPool2DRange pools channels [cLo, cHi) only; the per-channel split is
+// what worker pools parallelize.
+func MaxPool2DRange(spec PoolSpec, dst, src *Tensor, cLo, cHi int) {
+	oh, ow := spec.OutH(), spec.OutW()
+	k, st := spec.Kernel, spec.Stride
+	sd, dd := src.Data, dst.Data
+	for c := cLo; c < cHi; c++ {
+		sBase := c * spec.H * spec.W
+		dBase := c * oh * ow
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				iy0, ix0 := oy*st, ox*st
+				best := sd[sBase+iy0*spec.W+ix0]
+				for ky := 0; ky < k; ky++ {
+					row := sBase + (iy0+ky)*spec.W
+					for kx := 0; kx < k; kx++ {
+						if v := sd[row+ix0+kx]; v > best {
+							best = v
+						}
+					}
+				}
+				dd[dBase+oy*ow+ox] = best
+			}
+		}
+	}
+}
+
+// ReLU applies max(0, x) elementwise over [lo, hi) of t.Data in place.
+func ReLU(t *Tensor, lo, hi int) {
+	d := t.Data
+	for i := lo; i < hi; i++ {
+		if d[i] < 0 {
+			d[i] = 0
+		}
+	}
+}
+
+// Linear computes dst = w × src + b where w is [Out, In] row-major,
+// src has In elements and dst has Out elements.
+func Linear(dst, src, w, b []float32, out, in int) {
+	LinearRange(dst, src, w, b, in, 0, out)
+}
+
+// LinearRange computes output rows [oLo, oHi) of a fully-connected layer.
+func LinearRange(dst, src, w, b []float32, in, oLo, oHi int) {
+	for o := oLo; o < oHi; o++ {
+		acc := float32(0)
+		if b != nil {
+			acc = b[o]
+		}
+		row := w[o*in : (o+1)*in]
+		for i, s := range src {
+			acc += row[i] * s
+		}
+		dst[o] = acc
+	}
+}
+
+// Argmax returns the index of the largest element of xs (first on ties),
+// or -1 for an empty slice; used for classification outputs.
+func Argmax(xs []float32) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	best, bi := xs[0], 0
+	for i, x := range xs[1:] {
+		if x > best {
+			best, bi = x, i+1
+		}
+	}
+	return bi
+}

@@ -1,0 +1,88 @@
+// Package btapps exposes the paper's three evaluation workloads
+// (Sec. 4.1) as ready-made bt.Applications: AlexNet-dense,
+// AlexNet-sparse, and the Karras octree pipeline.
+package btapps
+
+import (
+	"fmt"
+	"strings"
+
+	"bettertogether/internal/apps/alexnet"
+	"bettertogether/internal/apps/octree"
+	"bettertogether/internal/apps/vision"
+	"bettertogether/pkg/bt"
+)
+
+// Names lists the canonical application names accepted by ByName.
+var Names = []string{"alexnet-dense", "alexnet-sparse", "octree", "vision"}
+
+// ByName constructs an evaluation application with its default
+// configuration. Accepted names: "alexnet-dense", "alexnet-sparse",
+// "octree", "vision" (aliases: "dense", "sparse", "tree", "camera").
+func ByName(name string) (*bt.Application, error) {
+	switch strings.ToLower(name) {
+	case "alexnet-dense", "dense", "cifar-d":
+		return AlexNetDense(), nil
+	case "alexnet-sparse", "sparse", "cifar-s":
+		return AlexNetSparse(), nil
+	case "octree", "tree", "octree-uniform":
+		return Octree(), nil
+	case "vision", "camera":
+		return Vision()
+	default:
+		return nil, fmt.Errorf("btapps: unknown application %q (have %v)", name, Names)
+	}
+}
+
+// AlexNetDense is the dense CNN: nine stages, one CIFAR-scale image per
+// task, regular dense linear algebra.
+func AlexNetDense() *bt.Application {
+	return alexnet.NewDense(alexnet.DefaultSeed, 1)
+}
+
+// AlexNetSparse is the Condensa-style pruned variant: CSR weights,
+// batched tasks, irregular sparse linear algebra.
+func AlexNetSparse() *bt.Application {
+	return alexnet.NewSparse(alexnet.DefaultSeed, alexnet.DefaultSparseBatch)
+}
+
+// AlexNetSparseBatch builds the sparse variant with a custom batch size,
+// useful for real-engine runs where the default batch is heavy.
+func AlexNetSparseBatch(batch int) *bt.Application {
+	return alexnet.NewSparse(alexnet.DefaultSeed, batch)
+}
+
+// Octree is the 7-stage Karras construction pipeline over uniform
+// synthetic point clouds at the evaluation's default frame size.
+func Octree() *bt.Application {
+	return octree.NewApplication(octree.DefaultPoints, octree.UniformGen{})
+}
+
+// Vision is the 6-stage edge camera pipeline (demosaic through
+// downscale) — a fourth workload beyond the paper's three, demonstrating
+// framework extensibility.
+func Vision() (*bt.Application, error) {
+	return vision.NewApplication(vision.DefaultWidth, vision.DefaultHeight)
+}
+
+// VisionSized builds the camera pipeline for w×h frames (must be even).
+func VisionSized(w, h int) (*bt.Application, error) {
+	return vision.NewApplication(w, h)
+}
+
+// OctreeSized builds the octree pipeline with a custom frame size and
+// point distribution ("uniform", "clustered", "surface").
+func OctreeSized(points int, distribution string) (*bt.Application, error) {
+	var gen octree.Generator
+	switch strings.ToLower(distribution) {
+	case "", "uniform":
+		gen = octree.UniformGen{}
+	case "clustered", "cluster":
+		gen = octree.ClusterGen{}
+	case "surface":
+		gen = octree.SurfaceGen{}
+	default:
+		return nil, fmt.Errorf("btapps: unknown distribution %q", distribution)
+	}
+	return octree.NewApplication(points, gen), nil
+}
