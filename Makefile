@@ -1,0 +1,29 @@
+# Development targets. `make check` is the full gate run before any
+# change lands: vet, build, full test suite, then the race-enabled
+# stress/property suite over the concurrent machinery.
+
+GO ?= go
+
+.PHONY: all check vet build test race bench
+
+all: check
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The engine, queue, and metrics packages contain the concurrency
+# stress + property tests; run them with the race detector and without
+# result caching.
+race:
+	$(GO) test -race -count=1 ./internal/pipeline/... ./internal/queue/... ./internal/metrics/...
+
+bench:
+	$(GO) test -bench=. -benchmem .

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -31,7 +32,10 @@ func main() {
 	tasks := flag.Int("tasks", 30, "measured tasks")
 	warmup := flag.Int("warmup", 5, "warmup tasks excluded from metrics")
 	seed := flag.Int64("seed", 1, "simulation noise seed")
-	gantt := flag.Bool("gantt", false, "render an ASCII Gantt chart of the run (sim engine only)")
+	gantt := flag.Bool("gantt", false, "render an ASCII Gantt chart of the run (either engine)")
+	traceFlag := flag.Bool("trace", false, "alias for -gantt: trace stage spans and render the Gantt")
+	metricsFlag := flag.Bool("metrics", false, "print the per-stage/queue/pool runtime metrics tables")
+	timeout := flag.Duration("timeout", 0, "cancel a real-engine run after this duration (0 = no limit)")
 	flag.Parse()
 
 	app, err := btapps.ByName(*appName)
@@ -57,9 +61,14 @@ func main() {
 	fatalIf(err)
 	opts := bt.RunOptions{Tasks: *tasks, Warmup: *warmup, Seed: *seed}
 	var tl *bt.Timeline
-	if *gantt {
+	if *gantt || *traceFlag {
 		tl = &bt.Timeline{}
 		opts.Trace = tl
+	}
+	var m *bt.Metrics
+	if *metricsFlag {
+		m = bt.NewMetrics(plan)
+		opts.Metrics = m
 	}
 
 	var r bt.RunResult
@@ -67,7 +76,16 @@ func main() {
 	case "sim":
 		r = bt.Simulate(plan, opts)
 	case "real":
-		r = bt.Execute(plan, opts)
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		r = bt.ExecuteContext(ctx, plan, opts)
+		if r.Err != nil {
+			fmt.Fprintln(os.Stderr, "btrun: run ended with error:", r.Err)
+		}
 	default:
 		fatalIf(fmt.Errorf("unknown engine %q", *engine))
 	}
@@ -86,9 +104,18 @@ func main() {
 		}
 		fmt.Println()
 	}
+	if m != nil {
+		fmt.Println()
+		fmt.Print(m.Table())
+	}
 	if tl != nil {
 		fmt.Println()
 		fmt.Print(tl.Gantt(100))
+	}
+	// Partial stats above are still useful diagnostics, but an errored
+	// run must not exit 0.
+	if r.Err != nil {
+		os.Exit(1)
 	}
 }
 

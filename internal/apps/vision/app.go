@@ -19,6 +19,16 @@ type payload struct {
 	locals [histBands][Bins]int32
 }
 
+// Unwrap returns the Task inside a pipeline payload, so callers outside
+// the package (tests, result collectors) can inspect frame outputs
+// without depending on the unexported scratch wrapper.
+func Unwrap(p any) *Task {
+	if t, ok := p.(*Task); ok {
+		return t
+	}
+	return p.(*payload).Task
+}
+
 func stageDemosaic(to *core.TaskObject, par core.ParallelFor) {
 	t := to.Payload.(*payload)
 	par(t.H, func(lo, hi int) { t.Demosaic(lo, hi) })

@@ -2,7 +2,10 @@ package dataparallel
 
 import (
 	"math"
+	"runtime"
+	"strings"
 	"testing"
+	"time"
 
 	"bettertogether/internal/apps/octree"
 	"bettertogether/internal/core"
@@ -107,9 +110,50 @@ func TestExecuteRealDataParallel(t *testing.T) {
 	app := octree.NewApplication(2048, octree.UniformGen{})
 	dev := soc.NewPixel7a()
 	tabs := profiler.ProfileBoth(app, dev, profiler.Config{Seed: 1})
-	sec := Execute(app, dev, tabs.Heavy, Options{Tasks: 4, Warmup: 1})
+	sec, err := Execute(app, dev, tabs.Heavy, Options{Tasks: 4, Warmup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if sec <= 0 {
 		t.Fatalf("per-task %v", sec)
+	}
+}
+
+func TestExecuteRealDataParallelKernelPanic(t *testing.T) {
+	// A panicking kernel band must surface as an error — with every pool
+	// worker joined on the way out, not stranded behind a dead barrier.
+	app := octree.NewApplication(2048, octree.UniformGen{})
+	boom := app.Stages[1].CPU
+	app.Stages[1].CPU = func(to *core.TaskObject, par core.ParallelFor) {
+		par(128, func(lo, hi int) { panic("band exploded") })
+		boom(to, par)
+	}
+	dev := soc.NewPixel7a()
+	tabs := profiler.ProfileBoth(app, dev, profiler.Config{Seed: 1})
+	before := runtime.NumGoroutine()
+	_, err := Execute(app, dev, tabs.Heavy, Options{Tasks: 2, Warmup: 0})
+	if err == nil {
+		t.Fatal("kernel panic not surfaced as error")
+	}
+	if !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	waitForGoroutines(t, before)
+}
+
+// waitForGoroutines asserts the goroutine count returns to (at most) the
+// pre-run level, allowing the runtime a grace period to unwind.
+func waitForGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

@@ -1,6 +1,7 @@
 package dataparallel
 
 import (
+	"fmt"
 	"math"
 	"sync"
 	"time"
@@ -16,8 +17,11 @@ import (
 // ParallelFor; the weighted ParallelFor built here is the data-parallel
 // counterpart of the pipeline engine's per-chunk pools.
 //
-// Returns the mean wall-clock per-task latency in seconds.
-func Execute(app *core.Application, dev *soc.Device, tab *core.ProfileTable, opts Options) float64 {
+// Returns the mean wall-clock per-task latency in seconds. A panicking
+// kernel band is recovered on its worker, the stage barrier still
+// completes, and the panic is surfaced as an error — the worker pools
+// are drained and joined either way, so no goroutine outlives the call.
+func Execute(app *core.Application, dev *soc.Device, tab *core.ProfileTable, opts Options) (float64, error) {
 	if opts.Tasks <= 0 {
 		opts.Tasks = 30
 	}
@@ -54,6 +58,15 @@ func Execute(app *core.Application, dev *soc.Device, tab *core.ProfileTable, opt
 		wg.Wait()
 	}()
 
+	// A panic in any band must not strand the stage barrier: it is
+	// recovered on the worker, the first one is kept, and the stage
+	// re-raises it after the barrier so the deferred pool shutdown above
+	// still joins every worker.
+	var (
+		pmu  sync.Mutex
+		pval any
+	)
+
 	// weightedPar splits [0,n) first across PU classes by share, then
 	// across each class's workers.
 	weightedPar := func(stage int) core.ParallelFor {
@@ -89,6 +102,15 @@ func Execute(app *core.Application, dev *soc.Device, tab *core.ProfileTable, opt
 					done.Add(1)
 					p.work <- func() {
 						defer done.Done()
+						defer func() {
+							if r := recover(); r != nil {
+								pmu.Lock()
+								if pval == nil {
+									pval = r
+								}
+								pmu.Unlock()
+							}
+						}()
 						body(lo, hi)
 					}
 				}
@@ -99,7 +121,6 @@ func Execute(app *core.Application, dev *soc.Device, tab *core.ProfileTable, opt
 	}
 
 	task := app.NewTask()
-	begin := time.Now()
 	var measured time.Duration
 	for seq := 0; seq < opts.Warmup+opts.Tasks; seq++ {
 		task.Reset(seq)
@@ -109,11 +130,17 @@ func Execute(app *core.Application, dev *soc.Device, tab *core.ProfileTable, opt
 			// stage; our kernels are backend-symmetric so the host-side
 			// entry point drives both.
 			stage.CPU(task, weightedPar(i))
+			pmu.Lock()
+			r := pval
+			pmu.Unlock()
+			if r != nil {
+				return 0, fmt.Errorf("dataparallel: stage %q (task %d) kernel panicked: %v",
+					app.Stages[i].Name, seq, r)
+			}
 		}
 		if seq >= opts.Warmup {
 			measured += time.Since(t0)
 		}
 	}
-	_ = begin
-	return measured.Seconds() / float64(opts.Tasks)
+	return measured.Seconds() / float64(opts.Tasks), nil
 }

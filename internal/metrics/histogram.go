@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// numBuckets is the fixed histogram width: one bucket per power-of-two
+// nanosecond magnitude. Bucket 0 holds zero-length observations; bucket i
+// holds durations d with 2^(i-1) <= d < 2^i ns. 64 buckets cover every
+// representable time.Duration, so Observe never branches on range.
+const numBuckets = 64
+
+// Histogram is a fixed-bucket latency histogram safe for concurrent use.
+// Observe is allocation-free and lock-free: engines call it from
+// dispatcher hot paths on every stage execution. The zero value is ready
+// to use.
+type Histogram struct {
+	count   atomic.Uint64
+	sumNs   atomic.Uint64
+	maxNs   atomic.Uint64
+	buckets [numBuckets]atomic.Uint64
+}
+
+// Observe records one duration. Negative durations are clamped to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	var ns uint64
+	if d > 0 {
+		ns = uint64(d)
+	}
+	h.count.Add(1)
+	h.sumNs.Add(ns)
+	for {
+		cur := h.maxNs.Load()
+		if ns <= cur || h.maxNs.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	idx := bits.Len64(ns)
+	if idx >= numBuckets {
+		idx = numBuckets - 1
+	}
+	h.buckets[idx].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the total observed time.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNs.Load()) }
+
+// Mean returns the average observation, or 0 with no observations.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNs.Load() / n)
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.maxNs.Load()) }
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1) from
+// the bucket boundaries: the true value lies within a factor of two below
+// the returned duration. Returns 0 with no observations.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(n))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i := 0; i < numBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			if i == 0 {
+				return 0
+			}
+			return time.Duration(uint64(1)<<uint(i) - 1)
+		}
+	}
+	return h.Max()
+}
+
+// fmtDur renders a duration compactly for metric tables.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "0"
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	}
+}

@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBasic(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("zero-value histogram not empty")
+	}
+	h.Observe(1 * time.Millisecond)
+	h.Observe(3 * time.Millisecond)
+	h.Observe(-5 * time.Millisecond) // clamped to 0
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != 3*time.Millisecond {
+		t.Fatalf("max = %v", h.Max())
+	}
+	wantMean := (1*time.Millisecond + 3*time.Millisecond) / 3
+	if h.Mean() != wantMean {
+		t.Fatalf("mean = %v, want %v", h.Mean(), wantMean)
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	// The quantile is a power-of-two upper bound: value <= bound < 2*value.
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	for _, q := range []float64{0.01, 0.5, 0.95, 1} {
+		b := h.Quantile(q)
+		if b < 100*time.Microsecond || b >= 200*time.Microsecond {
+			t.Fatalf("q=%v bound %v outside [100µs, 200µs)", q, b)
+		}
+	}
+	// A single huge outlier must dominate only the top of the
+	// distribution.
+	h.Observe(10 * time.Second)
+	if h.Quantile(0.5) >= 200*time.Microsecond {
+		t.Error("median polluted by outlier")
+	}
+	if h.Quantile(1) < 10*time.Second {
+		t.Errorf("p100 = %v, want >= 10s", h.Quantile(1))
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(i) * time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+}
+
+func TestObserveZeroAlloc(t *testing.T) {
+	var h Histogram
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(time.Millisecond) }); n != 0 {
+		t.Errorf("Observe allocates %.1f per call", n)
+	}
+	m := New(4, 2, 1)
+	if n := testing.AllocsPerRun(1000, func() {
+		m.StageDone(2, time.Microsecond)
+		m.QueueWait(1, time.Microsecond)
+		m.QueueStall(0, 0)
+		m.QueueDepth(1, 3)
+	}); n != 0 {
+		t.Errorf("recording allocates %.1f per call", n)
+	}
+}
+
+func TestPipelineRecording(t *testing.T) {
+	m := New(3, 2, 2)
+	m.Stage(0).Name, m.Stage(0).PU = "decode", "big"
+	m.Queue(0).Label, m.Queue(0).Cap = "chunk 0 → 1", 4
+	m.Pool(0).PU, m.Pool(0).Width = "big", 4
+	m.Pool(1).PU, m.Pool(1).Width = "gpu", 8
+
+	m.StageDone(0, 2*time.Millisecond)
+	m.StageDone(0, 4*time.Millisecond)
+	m.StageDone(2, 1*time.Millisecond)
+	m.QueueWait(0, 10*time.Microsecond)
+	m.QueueStall(0, 0)
+	m.QueueDepth(0, 3)
+	m.QueueDepth(0, 1) // must not lower the max
+	m.Pool(0).WorkerStart()
+	m.Pool(0).WorkerDone(40 * time.Millisecond)
+	m.SetElapsed(100 * time.Millisecond)
+
+	if got := m.Stage(0).Dispatches(); got != 2 {
+		t.Fatalf("stage 0 dispatches = %d", got)
+	}
+	if got := m.Stage(1).Dispatches(); got != 0 {
+		t.Fatalf("stage 1 dispatches = %d", got)
+	}
+	if got := m.Queue(0).MaxDepth(); got != 3 {
+		t.Fatalf("max depth = %d", got)
+	}
+	if got := m.Queue(0).Pops(); got != 1 {
+		t.Fatalf("pops = %d", got)
+	}
+	if got := m.Queue(0).Pushes(); got != 1 {
+		t.Fatalf("pushes = %d", got)
+	}
+	// 40ms busy on a width-4 pool over 100ms = 10% utilization.
+	if u := m.Pool(0).Utilization(m.Elapsed()); u < 0.099 || u > 0.101 {
+		t.Fatalf("utilization = %v", u)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	m := New(2, 2, 1)
+	m.Stage(0).Name, m.Stage(0).PU, m.Stage(0).Chunk = "encode", "big", 0
+	m.Stage(1).Name, m.Stage(1).PU, m.Stage(1).Chunk = "pack", "gpu", 1
+	m.Queue(0).Label = "chunk 0 → 1"
+	m.Pool(0).PU, m.Pool(0).Width = "big", 4
+	m.StageDone(0, 3*time.Millisecond)
+	m.StageDone(1, 700*time.Microsecond)
+	m.QueueWait(0, 5*time.Microsecond)
+	m.SetElapsed(50 * time.Millisecond)
+
+	out := m.Table()
+	for _, want := range []string{"encode", "pack", "chunk 0 → 1", "dispatch", "p95", "util", "elapsed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPoolUtilizationEdgeCases(t *testing.T) {
+	var p PoolStats
+	if p.Utilization(time.Second) != 0 {
+		t.Error("zero-width pool should report 0 utilization")
+	}
+	p.Width = 2
+	if p.Utilization(0) != 0 {
+		t.Error("zero elapsed should report 0 utilization")
+	}
+	p.AddBusy(-time.Second) // ignored
+	if p.BusyTime() != 0 {
+		t.Error("negative busy time recorded")
+	}
+}

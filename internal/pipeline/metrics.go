@@ -1,0 +1,63 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"bettertogether/internal/core"
+	"bettertogether/internal/metrics"
+)
+
+// poolOrder returns the plan's distinct PU classes in first-use order —
+// the canonical pool indexing shared by NewMetrics and both engines, so
+// a collector's pool rows mean the same thing whichever engine filled
+// them.
+func poolOrder(p *Plan) []core.PUClass {
+	var order []core.PUClass
+	seen := map[core.PUClass]bool{}
+	for _, c := range p.Chunks {
+		if !seen[c.PU] {
+			seen[c.PU] = true
+			order = append(order, c.PU)
+		}
+	}
+	return order
+}
+
+// poolWidth returns the worker width the Real engine uses for a class.
+func poolWidth(p *Plan, class core.PUClass) int {
+	pu := p.Device.PU(class)
+	if pu.Kind == core.KindGPU {
+		return gpuPoolWidth
+	}
+	return pu.Cores
+}
+
+// NewMetrics builds a metrics collector sized and labeled for the plan:
+// one stage row per application stage (annotated with its chunk and PU),
+// one queue row per ring edge (edge i leaves chunk i), and one pool row
+// per distinct PU class. Pass it as Options.Metrics to either engine.
+func NewMetrics(p *Plan) *metrics.Pipeline {
+	nChunks := len(p.Chunks)
+	order := poolOrder(p)
+	m := metrics.New(len(p.App.Stages), nChunks, len(order))
+	for ci, c := range p.Chunks {
+		for s := c.Start; s < c.End; s++ {
+			st := m.Stage(s)
+			st.Name = p.App.Stages[s].Name
+			st.Chunk = ci
+			st.PU = string(c.PU)
+		}
+	}
+	// Edge i connects chunk i to chunk (i+1) mod n, including the
+	// recycling edge back to chunk 0 (queue.Ring topology). Capacity is
+	// a per-run quantity the engine fills at start.
+	for e := 0; e < nChunks; e++ {
+		m.Queue(e).Label = fmt.Sprintf("chunk %d → %d", e, (e+1)%nChunks)
+	}
+	for i, class := range order {
+		pool := m.Pool(i)
+		pool.PU = string(class)
+		pool.Width = poolWidth(p, class)
+	}
+	return m
+}

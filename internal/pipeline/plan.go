@@ -16,8 +16,10 @@ package pipeline
 
 import (
 	"fmt"
+	"time"
 
 	"bettertogether/internal/core"
+	"bettertogether/internal/metrics"
 	"bettertogether/internal/soc"
 	"bettertogether/internal/trace"
 )
@@ -67,6 +69,17 @@ type Options struct {
 	// (chunk, PU, stage, task, start/end) — virtual seconds from the
 	// Sim engine, wall seconds from the Real engine.
 	Trace *trace.Timeline
+	// Metrics, when non-nil, receives runtime metrics from either
+	// engine: per-stage dispatch counts and service-time histograms,
+	// per-queue wait/stall/occupancy, and per-pool utilization. Build a
+	// correctly sized collector with NewMetrics(plan). Recording is
+	// lock-free and must not perturb the Sim engine's determinism.
+	Metrics *metrics.Pipeline
+	// ShutdownTimeout bounds how long the Real engine waits for
+	// dispatcher goroutines to join after completion or cancellation;
+	// 0 means a 30s default. On expiry Result.Err reports a
+	// *ShutdownTimeoutError instead of hanging the caller.
+	ShutdownTimeout time.Duration
 }
 
 // withDefaults fills derived option values for a plan.
@@ -107,9 +120,11 @@ type Result struct {
 	EnergyPerTaskJ float64
 	// AvgWatts is the mean device power over the run (Sim only).
 	AvgWatts float64
-	// Err is set by the Real engine when a kernel panicked; the pipeline
-	// shuts down cleanly instead of deadlocking and reports what
-	// happened here.
+	// Err is set by the Real engine when the run did not finish cleanly:
+	// a *PanicError for a recovered kernel panic, the context error for
+	// a canceled run, or a *ShutdownTimeoutError when dispatchers failed
+	// to join. The pipeline shuts down instead of deadlocking and
+	// reports what happened here.
 	Err error
 }
 

@@ -1,9 +1,12 @@
 package pipeline
 
 import (
+	"runtime/debug"
 	"sync"
+	"time"
 
 	"bettertogether/internal/core"
+	"bettertogether/internal/metrics"
 )
 
 // workerPool is the stand-in for a pinned OpenMP thread pool (CPU
@@ -15,6 +18,18 @@ type workerPool struct {
 	width int
 	work  chan func()
 	wg    sync.WaitGroup
+	// stats, when non-nil, receives per-lane utilization. Set before the
+	// pool is used; reads on the hot path are unsynchronized by design.
+	stats *metrics.PoolStats
+}
+
+// workerPanic wraps a panic recovered on a pool worker so ParFor can
+// re-raise it on the calling dispatcher with the original value and the
+// worker's stack. Without this, a panicking kernel band would kill a
+// worker goroutine, strand ParFor's barrier, and crash the process.
+type workerPanic struct {
+	value any
+	stack []byte
 }
 
 // newWorkerPool starts width workers.
@@ -38,7 +53,9 @@ func newWorkerPool(width int) *workerPool {
 // ParFor implements core.ParallelFor on the pool: it splits [0, n) into
 // one contiguous band per worker and blocks until all bands finish — the
 // implicit barrier of an OpenMP `parallel for` or a stream-synchronized
-// kernel launch.
+// kernel launch. A panic inside any band is captured, the barrier still
+// completes, and the first panic is re-raised on the caller as a
+// workerPanic so the dispatcher's recovery can attribute it.
 func (p *workerPool) ParFor(n int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -49,10 +66,21 @@ func (p *workerPool) ParFor(n int, body func(lo, hi int)) {
 	}
 	if bands == 1 {
 		// Run inline: a one-core cluster has no one to hand off to.
+		if p.stats != nil {
+			t0 := time.Now()
+			p.stats.WorkerStart()
+			defer func() { p.stats.WorkerDone(time.Since(t0)) }()
+		}
 		body(0, n)
 		return
 	}
-	var wg sync.WaitGroup
+	var (
+		wg    sync.WaitGroup
+		pmu   sync.Mutex
+		pval  any
+		pstk  []byte
+		panik bool
+	)
 	for w := 0; w < bands; w++ {
 		lo := w * n / bands
 		hi := (w + 1) * n / bands
@@ -62,10 +90,28 @@ func (p *workerPool) ParFor(n int, body func(lo, hi int)) {
 		wg.Add(1)
 		p.work <- func() {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					stack := debug.Stack()
+					pmu.Lock()
+					if !panik {
+						panik, pval, pstk = true, r, stack
+					}
+					pmu.Unlock()
+				}
+			}()
+			if p.stats != nil {
+				t0 := time.Now()
+				p.stats.WorkerStart()
+				defer func() { p.stats.WorkerDone(time.Since(t0)) }()
+			}
 			body(lo, hi)
 		}
 	}
 	wg.Wait()
+	if panik {
+		panic(workerPanic{value: pval, stack: pstk})
+	}
 }
 
 // Close stops the workers after in-flight work drains.

@@ -1,11 +1,15 @@
 package pipeline
 
 import (
-	"fmt"
+	"context"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bettertogether/internal/core"
+	"bettertogether/internal/metrics"
+	"bettertogether/internal/queue"
 	"bettertogether/internal/trace"
 )
 
@@ -14,36 +18,62 @@ import (
 // models "many lanes" without oversubscribing the host.
 const gpuPoolWidth = 8
 
+// defaultShutdownTimeout bounds how long ExecuteContext waits for
+// dispatcher goroutines to join after the run completes or is canceled.
+const defaultShutdownTimeout = 30 * time.Second
+
 // Execute runs the plan's actual kernels concurrently: one long-lived
 // dispatcher goroutine per chunk, SPSC queues between chunks, TaskObjects
 // recycled through the closing edge of the ring (paper Sec. 3.4). Wall
 // times are host times — useful for functional validation and relative
 // comparison, not for reproducing device numbers (that is Simulate's
-// job).
+// job). Execute is ExecuteContext with a background context.
 func Execute(p *Plan, opts Options) Result {
+	return ExecuteContext(context.Background(), p, opts)
+}
+
+// ExecuteContext is Execute with a lifecycle contract:
+//
+//   - Cancellation: when ctx is canceled the ring closes, in-flight
+//     tasks drain (no new tasks are issued), every dispatcher joins, and
+//     Result.Err carries ctx.Err(). Completions recorded before the
+//     cancel are preserved.
+//   - Panic isolation: a panicking kernel — on a dispatcher or on any
+//     pool worker lane — shuts the pipeline down instead of crashing the
+//     process; Result.Err is a *PanicError attributing the panic to its
+//     chunk, stage, and task, with the original stack.
+//   - Bounded join: dispatchers are joined with a deadline
+//     (Options.ShutdownTimeout). If a kernel never returns, Result.Err
+//     is a *ShutdownTimeoutError and the stalled goroutines are leaked
+//     loudly rather than deadlocking the caller.
+//
+// When Options.Metrics is set, the dispatchers additionally record
+// per-stage dispatch counts and service times, per-edge waits, stalls and
+// occupancy, and per-pool utilization; recording is lock-free and
+// allocation-free.
+func ExecuteContext(ctx context.Context, p *Plan, opts Options) Result {
 	opts = opts.withDefaults(p)
 	total := opts.Warmup + opts.Tasks
+	m := opts.Metrics
+	nChunks := len(p.Chunks)
 
 	// One worker pool per PU class used, sized like the cluster.
-	pools := make(map[core.PUClass]*workerPool, len(p.Chunks))
-	for _, c := range p.Chunks {
-		if _, ok := pools[c.PU]; ok {
-			continue
+	order := poolOrder(p)
+	pools := make(map[core.PUClass]*workerPool, len(order))
+	for i, class := range order {
+		pool := newWorkerPool(poolWidth(p, class))
+		if m != nil {
+			pool.stats = m.Pool(i)
 		}
-		pu := p.Device.PU(c.PU)
-		width := pu.Cores
-		if pu.Kind == core.KindGPU {
-			width = gpuPoolWidth
-		}
-		pools[c.PU] = newWorkerPool(width)
+		pools[class] = pool
 	}
-	defer func() {
-		for _, pool := range pools {
-			pool.Close()
-		}
-	}()
 
-	ring := newTaskRing(len(p.Chunks), opts.Buffers)
+	ring := newTaskRing(nChunks, opts.Buffers)
+	if m != nil {
+		for e := 0; e < nChunks; e++ {
+			m.Queue(e).Cap = ring.Out(e).Cap()
+		}
+	}
 
 	// Multi-buffering: pre-allocate the in-flight TaskObjects and prime
 	// the first queue.
@@ -65,7 +95,7 @@ func Execute(p *Plan, opts Options) Result {
 		measureFrom time.Time
 		issued      = nbuf
 		runErr      error
-		spans       = make([][]trace.Span, len(p.Chunks))
+		spans       = make([][]trace.Span, nChunks)
 	)
 	if opts.Warmup == 0 {
 		measureFrom = start
@@ -79,38 +109,81 @@ func Execute(p *Plan, opts Options) Result {
 		ring.Close()
 	}
 
+	// Cancellation watcher: closing the ring releases every dispatcher
+	// blocked on a queue; dispatchers mid-kernel finish the current task
+	// and then observe the closed ring.
+	stopWatch := make(chan struct{})
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				fail(ctx.Err())
+			case <-stopWatch:
+			}
+		}()
+	}
+
 	var wg sync.WaitGroup
+	var exited atomic.Int64
 	for ci := range p.Chunks {
 		ci := ci
 		chunk := p.Chunks[ci]
 		backend := p.Backend(ci)
 		pool := pools[chunk.PU]
-		last := ci == len(p.Chunks)-1
+		last := ci == nChunks-1
+		inEdge := ((ci-1)%nChunks + nChunks) % nChunks
+		outEdge := ci
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer exited.Add(1)
+			curStage := -1
+			curTask := -1
 			// A panicking kernel must not deadlock the ring: shut the
-			// pipeline down and surface the failure in Result.Err.
+			// pipeline down and surface a typed, attributed error in
+			// Result.Err. Pool workers re-raise their panics here as
+			// workerPanic, carrying the original value and stack.
 			defer func() {
 				if r := recover(); r != nil {
-					fail(fmt.Errorf("pipeline: chunk %d (%s) kernel panicked: %v",
-						ci, chunk.PU, r))
+					perr := &PanicError{Chunk: ci, PU: chunk.PU, Task: curTask}
+					if curStage >= 0 {
+						perr.Stage = p.App.Stages[curStage].Name
+					}
+					if wp, ok := r.(workerPanic); ok {
+						perr.Value, perr.Stack = wp.value, wp.stack
+					} else {
+						perr.Value, perr.Stack = r, debug.Stack()
+					}
+					fail(perr)
 				}
 			}()
 			in, out := ring.In(ci), ring.Out(ci)
 			for {
-				// Step 1: pop the next TaskObject.
+				// Step 1: pop the next TaskObject, timing starvation.
+				var popStart time.Time
+				if m != nil {
+					popStart = time.Now()
+				}
 				task, ok := in.Pop()
 				if !ok {
 					return
 				}
+				if m != nil {
+					m.QueueWait(inEdge, time.Since(popStart))
+					m.QueueDepth(inEdge, in.Len())
+				}
+				curTask = task.Seq
 				// Step 2: make the chunk's buffers coherent for this PU.
 				task.AcquireAll(backend)
 				// Step 3: dispatch the chunk's kernels in order; ParFor's
 				// barrier is step 4's yield-until-complete.
 				for s := chunk.Start; s < chunk.End; s++ {
+					curStage = s
 					t0 := time.Now()
 					p.App.Stages[s].Kernel(backend)(task, pool.ParFor)
+					if m != nil {
+						m.StageDone(s, time.Since(t0))
+					}
 					if opts.Trace != nil {
 						spans[ci] = append(spans[ci], trace.Span{
 							Chunk: ci, PU: chunk.PU,
@@ -121,6 +194,7 @@ func Execute(p *Plan, opts Options) Result {
 						})
 					}
 				}
+				curStage = -1
 				task.ReleaseAll(backend)
 				if last {
 					seq := task.Seq
@@ -148,29 +222,97 @@ func Execute(p *Plan, opts Options) Result {
 						// Step 5 + recycling: reset for the next stream
 						// input and push back to the first queue.
 						task.Reset(next)
-						out.Push(task)
+						pushTimed(out, task, m, outEdge)
 					}
 				} else {
 					// Step 5: hand the task to the next chunk.
-					out.Push(task)
+					pushTimed(out, task, m, outEdge)
 				}
 			}
 		}()
 	}
-	wg.Wait()
 
-	startSec := 0.0
-	if !measureFrom.IsZero() {
-		startSec = measureFrom.Sub(start).Seconds()
+	// Join every dispatcher with a bounded deadline so a stuck kernel
+	// cannot hang the caller forever.
+	joined := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(joined)
+	}()
+	deadline := opts.ShutdownTimeout
+	if deadline <= 0 {
+		deadline = defaultShutdownTimeout
 	}
-	if opts.Trace != nil {
-		for _, ss := range spans {
-			for _, sp := range ss {
-				opts.Trace.Add(sp)
+	clean := true
+	select {
+	case <-joined:
+	case <-time.After(deadline):
+		clean = false
+		ring.Close() // release anything still blocked on a queue
+		// Give released dispatchers one more grace window to exit.
+		select {
+		case <-joined:
+			clean = true
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+	close(stopWatch)
+
+	mu.Lock()
+	if !clean && runErr == nil {
+		runErr = &ShutdownTimeoutError{
+			Timeout: deadline,
+			Stalled: nChunks - int(exited.Load()),
+		}
+	}
+	err := runErr
+	comps := append([]float64(nil), completions...)
+	from := measureFrom
+	mu.Unlock()
+
+	if clean {
+		// Dispatchers are gone; pool workers are idle. Stop them. With a
+		// stalled dispatcher we must skip this: Close would block behind
+		// its in-flight work.
+		for _, pool := range pools {
+			pool.Close()
+		}
+		if opts.Trace != nil {
+			for _, ss := range spans {
+				for _, sp := range ss {
+					opts.Trace.Add(sp)
+				}
 			}
 		}
 	}
-	r := finalize(completions, startSec, nil)
-	r.Err = runErr
+	if m != nil {
+		m.SetElapsed(time.Since(start))
+	}
+
+	startSec := 0.0
+	if !from.IsZero() {
+		startSec = from.Sub(start).Seconds()
+	}
+	r := finalize(comps, startSec, nil)
+	r.Err = err
 	return r
+}
+
+// pushTimed pushes a task onto an edge, recording producer-side
+// backpressure when metrics are attached. The fast path (room available)
+// records a zero stall without reading the clock twice.
+func pushTimed(out *queue.SPSC[*core.TaskObject], task *core.TaskObject, m *metrics.Pipeline, edge int) {
+	if m == nil {
+		out.Push(task)
+		return
+	}
+	if out.TryPush(task) {
+		m.QueueStall(edge, 0)
+		m.QueueDepth(edge, out.Len())
+		return
+	}
+	t0 := time.Now()
+	out.Push(task)
+	m.QueueStall(edge, time.Since(t0))
+	m.QueueDepth(edge, out.Len())
 }

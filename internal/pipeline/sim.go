@@ -3,6 +3,7 @@ package pipeline
 import (
 	"math"
 	"math/rand"
+	"time"
 
 	"bettertogether/internal/core"
 	"bettertogether/internal/des"
@@ -14,8 +15,8 @@ import (
 type simChunk struct {
 	idx    int
 	pu     core.PUClass
-	stages []int // stage indices of the chunk
-	queue  []int // waiting task seqs, FIFO
+	stages []int        // stage indices of the chunk
+	queue  []simPending // waiting tasks, FIFO
 	busy   bool
 
 	// Current execution state.
@@ -47,6 +48,20 @@ type simChunk struct {
 	load soc.Load
 }
 
+// simPending is one queued task in the discrete-event execution: its
+// stream sequence number and when it entered the queue (virtual time),
+// so metrics can attribute queue wait.
+type simPending struct {
+	seq int
+	at  float64
+}
+
+// simSeconds converts a virtual-time interval to a Duration for the
+// metrics histograms.
+func simSeconds(sec float64) time.Duration {
+	return time.Duration(sec * float64(time.Second))
+}
+
 // Simulate executes the plan on the discrete-event simulator. Stage
 // progress integrates over the *actual* interference environment: each
 // chunk's execution rate is re-evaluated from the SoC model every time
@@ -58,6 +73,13 @@ func Simulate(p *Plan, opts Options) Result {
 	opts = opts.withDefaults(p)
 	rng := rand.New(rand.NewSource(opts.Seed))
 	eng := des.New()
+	m := opts.Metrics
+	nChunks := len(p.Chunks)
+	if m != nil {
+		for e := 0; e < nChunks; e++ {
+			m.Queue(e).Cap = opts.Buffers + 1
+		}
+	}
 
 	chunks := make([]*simChunk, len(p.Chunks))
 	for i, c := range p.Chunks {
@@ -144,6 +166,9 @@ func Simulate(p *Plan, opts Options) Result {
 
 	finishStage = func(c *simChunk) {
 		integrate(c)
+		if m != nil {
+			m.StageDone(c.stages[c.stagePos], simSeconds(eng.Now()-c.stageStart))
+		}
 		if opts.Trace != nil {
 			si := c.stages[c.stagePos]
 			opts.Trace.Add(trace.Span{
@@ -169,13 +194,19 @@ func Simulate(p *Plan, opts Options) Result {
 				completions = append(completions, eng.Now())
 			}
 			if issued < total {
-				chunks[0].queue = append(chunks[0].queue, issued)
+				chunks[0].queue = append(chunks[0].queue, simPending{issued, eng.Now()})
+				if m != nil {
+					m.QueueDepth(nChunks-1, len(chunks[0].queue))
+				}
 				issued++
 				tryStart(chunks[0])
 			}
 		} else {
 			next := chunks[c.idx+1]
-			next.queue = append(next.queue, task)
+			next.queue = append(next.queue, simPending{task, eng.Now()})
+			if m != nil {
+				m.QueueDepth(c.idx, len(next.queue))
+			}
 			tryStart(next)
 		}
 		tryStart(c)
@@ -186,8 +217,12 @@ func Simulate(p *Plan, opts Options) Result {
 		if c.busy || len(c.queue) == 0 {
 			return
 		}
-		c.task = c.queue[0]
+		head := c.queue[0]
 		c.queue = c.queue[1:]
+		if m != nil {
+			m.QueueWait(((c.idx-1)%nChunks+nChunks)%nChunks, simSeconds(eng.Now()-head.at))
+		}
+		c.task = head.seq
 		c.busy = true
 		c.stagePos = 0
 		c.busySince = eng.Now()
@@ -200,8 +235,11 @@ func Simulate(p *Plan, opts Options) Result {
 		prime = total
 	}
 	for i := 0; i < prime; i++ {
-		chunks[0].queue = append(chunks[0].queue, issued)
+		chunks[0].queue = append(chunks[0].queue, simPending{issued, 0})
 		issued++
+	}
+	if m != nil {
+		m.QueueDepth(nChunks-1, len(chunks[0].queue))
 	}
 	tryStart(chunks[0])
 	eng.Run()
@@ -215,6 +253,21 @@ func Simulate(p *Plan, opts Options) Result {
 		for i, c := range chunks {
 			busy[i] = c.busyTotal / makespan
 		}
+	}
+	if m != nil {
+		// Pool utilization, virtual time: a chunk occupies its class's
+		// whole pool while busy (the dispatcher owns the lanes), so
+		// busy lane-time is busyTotal × width aggregated per class.
+		order := poolOrder(p)
+		index := make(map[core.PUClass]int, len(order))
+		for i, class := range order {
+			index[class] = i
+		}
+		for _, c := range chunks {
+			pool := m.Pool(index[c.pu])
+			pool.AddBusy(simSeconds(c.busyTotal * float64(pool.Width)))
+		}
+		m.SetElapsed(simSeconds(makespan))
 	}
 	r := finalize(completions, measureStart, busy)
 

@@ -10,6 +10,7 @@ package queue
 
 import (
 	"sync/atomic"
+	"time"
 )
 
 // cacheLinePad separates the producer- and consumer-owned cursors so they
@@ -98,6 +99,70 @@ func (q *SPSC[T]) Push(v T) bool {
 		}
 		if q.TryPush(v) {
 			return true
+		}
+		yield()
+	}
+}
+
+// Occupancy returns the buffered element count and the capacity in one
+// call — the backpressure view a monitor polls to spot a slow consumer.
+// The length is a racy snapshot, like Len.
+func (q *SPSC[T]) Occupancy() (length, capacity int) {
+	return q.Len(), len(q.buf)
+}
+
+// PushTimeout behaves like Push but gives up after d: it reports false if
+// the queue stayed full (or was closed) for the whole timeout. A zero or
+// negative d degenerates to TryPush. Must only be called from the
+// producer goroutine.
+func (q *SPSC[T]) PushTimeout(v T, d time.Duration) bool {
+	if q.TryPush(v) {
+		return true
+	}
+	if d <= 0 {
+		return false
+	}
+	deadline := time.Now().Add(d)
+	for {
+		if q.closed.Load() {
+			return false
+		}
+		if q.TryPush(v) {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		yield()
+	}
+}
+
+// PopTimeout behaves like Pop but gives up after d: it reports false if
+// the queue stayed empty for the whole timeout or is closed and drained.
+// A zero or negative d degenerates to TryPop. Must only be called from
+// the consumer goroutine.
+func (q *SPSC[T]) PopTimeout(d time.Duration) (T, bool) {
+	if v, ok := q.TryPop(); ok {
+		return v, true
+	}
+	var zero T
+	if d <= 0 {
+		return zero, false
+	}
+	deadline := time.Now().Add(d)
+	for {
+		if v, ok := q.TryPop(); ok {
+			return v, true
+		}
+		if q.closed.Load() {
+			// Re-check: a final element may have been pushed before Close.
+			if v, ok := q.TryPop(); ok {
+				return v, true
+			}
+			return zero, false
+		}
+		if time.Now().After(deadline) {
+			return zero, false
 		}
 		yield()
 	}

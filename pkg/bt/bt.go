@@ -24,7 +24,10 @@
 package bt
 
 import (
+	"context"
+
 	"bettertogether/internal/core"
+	"bettertogether/internal/metrics"
 	"bettertogether/internal/pipeline"
 	"bettertogether/internal/profiler"
 	"bettertogether/internal/sched"
@@ -180,6 +183,20 @@ type (
 	Timeline = trace.Timeline
 	// Span is one stage execution in a Timeline.
 	Span = trace.Span
+	// Metrics collects per-stage dispatch/service metrics, per-queue
+	// occupancy and backpressure, and per-pool utilization when set as
+	// RunOptions.Metrics; its Table method renders them. Build with
+	// NewMetrics so it is sized and labeled for the plan.
+	Metrics = metrics.Pipeline
+	// LatencyHistogram is the fixed-bucket histogram behind every
+	// Metrics latency figure.
+	LatencyHistogram = metrics.Histogram
+	// PanicError is the typed error the Real engine returns for a
+	// recovered kernel panic, attributing it to chunk, stage, and task.
+	PanicError = pipeline.PanicError
+	// ShutdownTimeoutError reports dispatchers that failed to join
+	// within RunOptions.ShutdownTimeout.
+	ShutdownTimeoutError = pipeline.ShutdownTimeoutError
 )
 
 // NewPlan validates and compiles a schedule.
@@ -194,6 +211,20 @@ func Simulate(p *Plan, opts RunOptions) RunResult { return pipeline.Simulate(p, 
 // Execute runs the application's real kernels concurrently through
 // dispatcher goroutines and lock-free SPSC queues (wall time).
 func Execute(p *Plan, opts RunOptions) RunResult { return pipeline.Execute(p, opts) }
+
+// ExecuteContext is Execute with a lifecycle contract: canceling ctx
+// drains the pipeline and joins every dispatcher (RunResult.Err carries
+// ctx.Err()); kernel panics surface as *PanicError; dispatchers that
+// fail to join within RunOptions.ShutdownTimeout surface as
+// *ShutdownTimeoutError instead of hanging the caller.
+func ExecuteContext(ctx context.Context, p *Plan, opts RunOptions) RunResult {
+	return pipeline.ExecuteContext(ctx, p, opts)
+}
+
+// NewMetrics builds a metrics collector sized and labeled for the plan;
+// pass it as RunOptions.Metrics to either engine and render it with its
+// Table method after the run.
+func NewMetrics(p *Plan) *Metrics { return pipeline.NewMetrics(p) }
 
 // AutoSchedule is the one-call path: profile the application on the
 // device, run the full three-level optimization, and return the selected
