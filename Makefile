@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all check vet build test race bench
+.PHONY: all check vet build test race bench bench-suite
 
 all: check
 
@@ -21,9 +21,28 @@ test:
 
 # The engine, queue, and metrics packages contain the concurrency
 # stress + property tests; run them with the race detector and without
-# result caching.
+# result caching. The experiments and sched packages cover the parallel
+# experiment grids, the autotune worker pool, and the profiling cache's
+# singleflight.
 race:
 	$(GO) test -race -count=1 ./internal/pipeline/... ./internal/queue/... ./internal/metrics/...
+	$(GO) test -race -count=1 -run 'Parallel|Concurrent|ForEach' ./internal/experiments/... ./internal/sched/...
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# bench-suite times the experiment subset that fans across the worker
+# pool, serial vs -parallel, and fails if the parallel report diverges
+# from the serial golden output by a single byte.
+BENCH_EXPS ?= table3,fig7,fig4,fig5
+bench-suite:
+	@mkdir -p .bench
+	$(GO) build -o .bench/btbench ./cmd/btbench
+	@echo "== serial ($(BENCH_EXPS))"
+	@t0=$$(date +%s%N); .bench/btbench -exp $(BENCH_EXPS) > .bench/serial.txt; \
+	 t1=$$(date +%s%N); echo "serial:   $$(( (t1 - t0) / 1000000 )) ms"
+	@echo "== parallel ($(BENCH_EXPS))"
+	@t0=$$(date +%s%N); .bench/btbench -parallel -exp $(BENCH_EXPS) > .bench/parallel.txt; \
+	 t1=$$(date +%s%N); echo "parallel: $$(( (t1 - t0) / 1000000 )) ms"
+	@cmp .bench/serial.txt .bench/parallel.txt && echo "outputs identical" || \
+	 { echo "FAIL: parallel output diverges from serial golden output"; exit 1; }

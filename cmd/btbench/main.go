@@ -6,6 +6,8 @@
 //	btbench                  # run every experiment
 //	btbench -exp fig4        # one experiment: e0, table1, table2, fig1,
 //	                         # table3, fig4, fig5, fig6, table4, fig7
+//	btbench -parallel        # fan experiment grids over GOMAXPROCS
+//	                         # workers; output is identical to serial
 package main
 
 import (
@@ -13,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"bettertogether/internal/experiments"
 	"bettertogether/internal/report"
@@ -20,18 +23,32 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id (e0, table1, table2, fig1, table3, fig4, fig5, fig6, table4, fig7, abl-dp, abl-k, abl-buffers, abl-reps, ext-energy, all)")
+	parallel := flag.Bool("parallel", false, "fan experiment grids across GOMAXPROCS-bounded workers (deterministic: output matches the serial run)")
+	timing := flag.Bool("time", false, "report per-experiment and total wall-clock to stderr")
 	flag.Parse()
 
 	s := experiments.NewSuite()
+	if *parallel {
+		s.Workers = -1 // GOMAXPROCS-bounded
+	}
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
 		ids = []string{"table1", "table2", "fig1", "e0", "table3", "fig4", "fig5", "fig6", "table4", "fig7", "abl-dp", "abl-k", "abl-buffers", "abl-reps", "abl-slack", "ext-energy", "ext-vision"}
 	}
+	start := time.Now()
 	for _, id := range ids {
+		t0 := time.Now()
 		if err := run(s, strings.TrimSpace(id)); err != nil {
 			fmt.Fprintf(os.Stderr, "btbench: %s: %v\n", id, err)
 			os.Exit(1)
 		}
+		if *timing {
+			fmt.Fprintf(os.Stderr, "btbench: %-12s %8.1f ms\n", id, time.Since(t0).Seconds()*1e3)
+		}
+	}
+	if *timing {
+		fmt.Fprintf(os.Stderr, "btbench: total %.1f ms (parallel=%v)\n",
+			time.Since(start).Seconds()*1e3, *parallel)
 	}
 }
 

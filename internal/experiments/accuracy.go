@@ -60,17 +60,22 @@ type Fig5Result struct {
 }
 
 // Fig5 reproduces the predicted-vs-measured comparison of the top-20
-// schedules under the three optimization strategies (paper Fig. 5).
+// schedules under the three optimization strategies (paper Fig. 5). The
+// three strategies fan across the suite's worker pool; each derives its
+// measurement seeds from the strategy name, so results are identical at
+// any worker count.
 func (s *Suite) Fig5() (Fig5Result, string, error) {
 	var res Fig5Result
-	var err error
-	if res.BT, err = s.accuracyFor("alexnet-sparse", soc.Pixel7a, sched.BetterTogether); err != nil {
-		return res, "", err
-	}
-	if res.LatencyOnly, err = s.accuracyFor("alexnet-sparse", soc.Pixel7a, sched.LatencyOnlyHeavy); err != nil {
-		return res, "", err
-	}
-	if res.Isolated, err = s.accuracyFor("alexnet-sparse", soc.Pixel7a, sched.LatencyOnlyIsolated); err != nil {
+	slots := []*StrategyAccuracy{&res.BT, &res.LatencyOnly, &res.Isolated}
+	strategies := []sched.Strategy{sched.BetterTogether, sched.LatencyOnlyHeavy, sched.LatencyOnlyIsolated}
+	if err := s.forEach(len(strategies), func(i int) error {
+		acc, err := s.accuracyFor("alexnet-sparse", soc.Pixel7a, strategies[i])
+		if err != nil {
+			return err
+		}
+		*slots[i] = acc
+		return nil
+	}); err != nil {
 		return res, "", err
 	}
 
@@ -102,7 +107,9 @@ type Fig6Result struct {
 
 // Fig6 reproduces the accuracy heatmaps over every app-device combo for
 // BetterTogether (Fig. 6a) and the prior-work isolated-table strategy
-// (Fig. 6b).
+// (Fig. 6b). The app×device×strategy grid fans across the suite's
+// worker pool; aggregation walks the cells in grid order afterwards, so
+// heatmaps and means are identical at any worker count.
 func (s *Suite) Fig6() (Fig6Result, string, error) {
 	res := Fig6Result{}
 	for _, a := range s.Apps {
@@ -111,25 +118,35 @@ func (s *Suite) Fig6() (Fig6Result, string, error) {
 	for _, d := range s.Devices {
 		res.Devices = append(res.Devices, d.Name)
 	}
+
+	strategies := []sched.Strategy{sched.BetterTogether, sched.LatencyOnlyIsolated}
+	nd, ns := len(res.Devices), len(strategies)
+	pearson := make([]float64, len(res.Apps)*nd*ns)
+	if err := s.forEach(len(pearson), func(i int) error {
+		app, dev, strat := res.Apps[i/(nd*ns)], res.Devices[i/ns%nd], strategies[i%ns]
+		acc, err := s.accuracyFor(app, dev, strat)
+		if err != nil {
+			return err
+		}
+		pearson[i] = acc.Pearson
+		return nil
+	}); err != nil {
+		return res, "", err
+	}
+
 	var btAll, isoAll []float64
-	for _, app := range res.Apps {
+	for ai := range res.Apps {
 		var btRow, isoRow []float64
-		for _, dev := range res.Devices {
-			bt, err := s.accuracyFor(app, dev, sched.BetterTogether)
-			if err != nil {
-				return res, "", err
+		for di := range res.Devices {
+			bt := pearson[(ai*nd+di)*ns]
+			iso := pearson[(ai*nd+di)*ns+1]
+			btRow = append(btRow, bt)
+			isoRow = append(isoRow, iso)
+			if !math.IsNaN(bt) {
+				btAll = append(btAll, bt)
 			}
-			iso, err := s.accuracyFor(app, dev, sched.LatencyOnlyIsolated)
-			if err != nil {
-				return res, "", err
-			}
-			btRow = append(btRow, bt.Pearson)
-			isoRow = append(isoRow, iso.Pearson)
-			if !math.IsNaN(bt.Pearson) {
-				btAll = append(btAll, bt.Pearson)
-			}
-			if !math.IsNaN(iso.Pearson) {
-				isoAll = append(isoAll, iso.Pearson)
+			if !math.IsNaN(iso) {
+				isoAll = append(isoAll, iso)
 			}
 		}
 		res.BT = append(res.BT, btRow)

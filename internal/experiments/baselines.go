@@ -46,7 +46,9 @@ func (r Table3Result) Cell(device, app string) BaselineCell {
 // Table3 measures the homogeneous baselines: every stage on the big CPU
 // cluster, and every stage on the GPU (paper Sec. 5.1: "For the CPU
 // baselines, we use only the big cores, as they consistently deliver the
-// best performance").
+// best performance"). The device×app grid fans across the suite's worker
+// pool; aggregation and rendering stay serial, so the report is
+// byte-identical at any worker count.
 func (s *Suite) Table3() (Table3Result, string, error) {
 	res := Table3Result{}
 	for _, d := range s.Devices {
@@ -56,26 +58,37 @@ func (s *Suite) Table3() (Table3Result, string, error) {
 		res.Apps = append(res.Apps, a.Name)
 	}
 
+	na := len(s.Apps)
+	grid := make([]BaselineCell, len(s.Devices)*na)
+	if err := s.forEach(len(grid), func(i int) error {
+		dev, app := s.Devices[i/na], s.Apps[i%na]
+		cpu, err := s.measureUniform(app, dev, core.ClassBig, "table3-cpu")
+		if err != nil {
+			return err
+		}
+		gpu, err := s.measureUniform(app, dev, dev.GPUClass(), "table3-gpu")
+		if err != nil {
+			return err
+		}
+		grid[i] = BaselineCell{CPU: cpu, GPU: gpu}
+		return nil
+	}); err != nil {
+		return res, "", err
+	}
+
 	t := report.NewTable("Table 3: raw baseline latency (ms per task), CPU | GPU",
 		append([]string{"Device"}, labelApps(res.Apps)...)...)
-	for _, dev := range s.Devices {
+	for di, dev := range s.Devices {
 		row := make([]BaselineCell, len(s.Apps))
 		cells := []string{DeviceLabel(dev.Name)}
-		for ai, app := range s.Apps {
-			cpu, err := s.measureUniform(app, dev, core.ClassBig, "table3-cpu")
-			if err != nil {
-				return res, "", err
-			}
-			gpu, err := s.measureUniform(app, dev, dev.GPUClass(), "table3-gpu")
-			if err != nil {
-				return res, "", err
-			}
-			row[ai] = BaselineCell{CPU: cpu, GPU: gpu}
-			cell := report.Ms(cpu) + " | " + report.Ms(gpu)
-			if gpu < cpu {
-				cell = report.Ms(cpu) + " | *" + report.Ms(gpu)
+		for ai := range s.Apps {
+			c := grid[di*na+ai]
+			row[ai] = c
+			cell := ""
+			if c.GPU < c.CPU {
+				cell = report.Ms(c.CPU) + " | *" + report.Ms(c.GPU)
 			} else {
-				cell = "*" + report.Ms(cpu) + " | " + report.Ms(gpu)
+				cell = "*" + report.Ms(c.CPU) + " | " + report.Ms(c.GPU)
 			}
 			cells = append(cells, cell)
 		}

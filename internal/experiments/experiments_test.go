@@ -1,13 +1,26 @@
 package experiments
 
 import (
+	"fmt"
 	"math"
+	"reflect"
+	"runtime"
 	"strings"
+	"sync"
 	"testing"
 
 	"bettertogether/internal/core"
+	"bettertogether/internal/profiler"
 	"bettertogether/internal/soc"
 )
+
+// withProcs raises GOMAXPROCS for the duration of a test so the
+// GOMAXPROCS-capped worker pools actually run parallel on single-CPU CI.
+func withProcs(t *testing.T, n int) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(n)
+	t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+}
 
 // The suite caches profiling tables, so tests share one instance where
 // read-only and build fresh ones when checking determinism.
@@ -360,6 +373,114 @@ func TestTablesCached(t *testing.T) {
 	t2 := s.Tables(app, dev)
 	if t1.Heavy != t2.Heavy {
 		t.Error("tables not cached")
+	}
+}
+
+// TestTablesConcurrentSingleflight hammers the profiling cache from many
+// goroutines (run under -race via `make race`): every caller for a combo
+// must get the same cached tables, i.e. each combo profiles exactly once.
+func TestTablesConcurrentSingleflight(t *testing.T) {
+	withProcs(t, 4)
+	s := NewSuite()
+	const callers = 8
+	got := make([]profiler.Tables, callers*len(s.Apps)*len(s.Devices))
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		for ai, app := range s.Apps {
+			for di, dev := range s.Devices {
+				wg.Add(1)
+				go func(slot int, app *core.Application, dev *soc.Device) {
+					defer wg.Done()
+					got[slot] = s.Tables(app, dev)
+				}(((c*len(s.Apps))+ai)*len(s.Devices)+di, app, dev)
+			}
+		}
+	}
+	wg.Wait()
+	for ai, app := range s.Apps {
+		for di, dev := range s.Devices {
+			want := s.Tables(app, dev)
+			for c := 0; c < callers; c++ {
+				slot := ((c*len(s.Apps))+ai)*len(s.Devices) + di
+				if got[slot].Heavy != want.Heavy || got[slot].Isolated != want.Isolated {
+					t.Fatalf("%s/%s: caller %d got a different table instance (combo profiled twice)",
+						app.Name, dev.Name, c)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelSuiteMatchesSerial is the determinism pin for the parallel
+// experiment grids: a parallel suite must produce byte-identical reports
+// and deeply equal result structs to a serial one.
+func TestParallelSuiteMatchesSerial(t *testing.T) {
+	withProcs(t, 4)
+	serial, par := NewSuite(), NewSuite()
+	par.Workers = -1 // GOMAXPROCS-bounded
+
+	sF7, sF7Body, err := serial.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pF7, pF7Body, err := par.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sF7, pF7) {
+		t.Error("Fig7 results diverge between serial and parallel")
+	}
+	if sF7Body != pF7Body {
+		t.Error("Fig7 report diverges between serial and parallel")
+	}
+
+	sF4, sT3, sF4Body, err := serial.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pF4, pT3, pF4Body, err := par.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sF4, pF4) || !reflect.DeepEqual(sT3, pT3) {
+		t.Error("Fig4/Table3 results diverge between serial and parallel")
+	}
+	if sF4Body != pF4Body {
+		t.Error("Fig4 report diverges between serial and parallel")
+	}
+
+	sF5, sF5Body, err := serial.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pF5, pF5Body, err := par.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sF5, pF5) || sF5Body != pF5Body {
+		t.Error("Fig5 diverges between serial and parallel")
+	}
+}
+
+// TestForEachLowestIndexError pins the error contract: whatever the
+// completion order, the failing cell with the lowest index reports.
+func TestForEachLowestIndexError(t *testing.T) {
+	withProcs(t, 4)
+	for _, workers := range []int{1, -1} {
+		s := NewSuite()
+		s.Workers = workers
+		err := s.forEach(16, func(i int) error {
+			if i >= 3 {
+				return fmt.Errorf("cell %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "cell 3 failed" {
+			t.Errorf("Workers=%d: got %v, want cell 3's error", workers, err)
+		}
+		if err := s.forEach(4, func(int) error { return nil }); err != nil {
+			t.Errorf("Workers=%d: unexpected error %v", workers, err)
+		}
 	}
 }
 

@@ -26,32 +26,64 @@ type Fig7Result struct {
 }
 
 // Fig7 reproduces the interference-impact figure: profile every app on
-// every device in both modes and average the per-PU ratios.
+// every device in both modes and average the per-PU ratios. The
+// device×app profiling grid fans across the suite's worker pool;
+// aggregation walks the cells in fleet order afterwards, so ratios and
+// report are identical at any worker count.
 func (s *Suite) Fig7() (Fig7Result, string, error) {
 	res := Fig7Result{Ratios: map[string]map[core.PUClass]float64{}}
+
+	type fig7Cell struct {
+		ratios map[core.PUClass]float64
+		// Pixel-only largest single-stage ratio.
+		stage string
+		pu    core.PUClass
+		max   float64
+	}
+	na := len(s.Apps)
+	grid := make([]fig7Cell, len(s.Devices)*na)
+	if err := s.forEach(len(grid), func(i int) error {
+		dev, app := s.Devices[i/na], s.Apps[i%na]
+		tabs := s.Tables(app, dev)
+		c := fig7Cell{ratios: profiler.InterferenceRatios(tabs)}
+		if dev.Name == "pixel7a" {
+			c.stage, c.pu, c.max = profiler.MaxStageRatio(tabs)
+		}
+		grid[i] = c
+		return nil
+	}); err != nil {
+		return res, "", err
+	}
+
 	var body string
-	for _, dev := range s.Devices {
+	for di, dev := range s.Devices {
 		res.Devices = append(res.Devices, dev.Name)
 		perPU := map[core.PUClass][]float64{}
-		for _, app := range s.Apps {
-			tabs := s.Tables(app, dev)
-			for pu, r := range profiler.InterferenceRatios(tabs) {
-				perPU[pu] = append(perPU[pu], r)
-			}
-			if dev.Name == "pixel7a" {
-				stage, pu, ratio := profiler.MaxStageRatio(tabs)
-				if ratio > res.MaxStage.Ratio {
-					res.MaxStage.App = app.Name
-					res.MaxStage.Stage = stage
-					res.MaxStage.PU = pu
-					res.MaxStage.Ratio = ratio
+		for ai, app := range s.Apps {
+			c := grid[di*na+ai]
+			for _, pu := range dev.Classes() {
+				if r, ok := c.ratios[pu]; ok {
+					perPU[pu] = append(perPU[pu], r)
 				}
+			}
+			if c.max > res.MaxStage.Ratio {
+				res.MaxStage.App = app.Name
+				res.MaxStage.Stage = c.stage
+				res.MaxStage.PU = c.pu
+				res.MaxStage.Ratio = c.max
 			}
 		}
 		agg := map[core.PUClass]float64{}
 		t := report.NewTable(fmt.Sprintf("%s: heavy/isolated latency ratio per PU", DeviceLabel(dev.Name)),
 			"PU", "Ratio", "Direction")
 		for _, pu := range dev.Classes() {
+			if len(perPU[pu]) == 0 {
+				// No app measured a defined ratio for this class (see
+				// profiler.InterferenceRatios); report it explicitly
+				// instead of averaging an empty slice into NaN.
+				t.AddRow(string(pu), "n/a", "no measurable stage")
+				continue
+			}
 			r := stats.Mean(perPU[pu])
 			agg[pu] = r
 			dir := "~ neutral"

@@ -33,7 +33,10 @@ type Fig4Result struct {
 }
 
 // Fig4 runs the full three-level optimization on every app-device combo
-// and compares against the best homogeneous baseline.
+// and compares against the best homogeneous baseline. The 12-cell grid
+// fans across the suite's worker pool (each cell's seeds derive from its
+// combo names alone); aggregation and rendering stay serial, so results
+// and report are identical at any worker count.
 func (s *Suite) Fig4() (Fig4Result, Table3Result, string, error) {
 	base, baseBody, err := s.Table3()
 	if err != nil {
@@ -41,6 +44,34 @@ func (s *Suite) Fig4() (Fig4Result, Table3Result, string, error) {
 	}
 	res := Fig4Result{Devices: base.Devices, Apps: base.Apps}
 	var all, vsCPU, vsGPU []float64
+
+	type fig4Cell struct {
+		bt  float64
+		sch string
+	}
+	na := len(s.Apps)
+	grid := make([]fig4Cell, len(s.Devices)*na)
+	if err := s.forEach(len(grid), func(i int) error {
+		dev, app := s.Devices[i/na], s.Apps[i%na]
+		tabs := s.Tables(app, dev)
+		opt := sched.New(app, dev, tabs)
+		autoOpts := pipeline.Options{
+			Tasks: s.Tasks, Warmup: s.Warmup,
+			Seed: seedFor("fig4-autotune", app.Name, dev.Name),
+		}
+		_, _, best, err := opt.Optimize(sched.BetterTogether, autoOpts)
+		if err != nil {
+			return fmt.Errorf("fig4 %s/%s: %w", app.Name, dev.Name, err)
+		}
+		bt, err := s.Measure(app, dev, best.Schedule, "fig4-final")
+		if err != nil {
+			return err
+		}
+		grid[i] = fig4Cell{bt: bt, sch: best.Schedule.String()}
+		return nil
+	}); err != nil {
+		return res, base, "", err
+	}
 
 	chart := report.NewBarChart("Fig 4: speedup of BetterTogether over best homogeneous baseline", 40)
 	detail := report.NewTable("Selected schedules",
@@ -50,36 +81,23 @@ func (s *Suite) Fig4() (Fig4Result, Table3Result, string, error) {
 		var btRow, bestRow, spRow []float64
 		var schRow []string
 		for ai, app := range s.Apps {
-			tabs := s.Tables(app, dev)
-			opt := sched.New(app, dev, tabs)
-			autoOpts := pipeline.Options{
-				Tasks: s.Tasks, Warmup: s.Warmup,
-				Seed: seedFor("fig4-autotune", app.Name, dev.Name),
-			}
-			_, _, best, err := opt.Optimize(sched.BetterTogether, autoOpts)
-			if err != nil {
-				return res, base, "", fmt.Errorf("fig4 %s/%s: %w", app.Name, dev.Name, err)
-			}
-			bt, err := s.Measure(app, dev, best.Schedule, "fig4-final")
-			if err != nil {
-				return res, base, "", err
-			}
+			c := grid[di*na+ai]
 			cell := base.Cells[di][ai]
-			sp := cell.Best() / bt
-			btRow = append(btRow, bt)
+			sp := cell.Best() / c.bt
+			btRow = append(btRow, c.bt)
 			bestRow = append(bestRow, cell.Best())
 			spRow = append(spRow, sp)
-			schRow = append(schRow, best.Schedule.String())
+			schRow = append(schRow, c.sch)
 			all = append(all, sp)
-			vsCPU = append(vsCPU, cell.CPU/bt)
-			vsGPU = append(vsGPU, cell.GPU/bt)
+			vsCPU = append(vsCPU, cell.CPU/c.bt)
+			vsGPU = append(vsGPU, cell.GPU/c.bt)
 			if sp > res.Max {
 				res.Max = sp
 			}
 			label := fmt.Sprintf("%s/%s", DeviceLabel(dev.Name), AppLabel(app.Name))
 			chart.Add(label, sp)
 			detail.AddRow(DeviceLabel(dev.Name), AppLabel(app.Name),
-				report.Ms(bt), report.Ms(cell.Best()), report.F2(sp), best.Schedule.String())
+				report.Ms(c.bt), report.Ms(cell.Best()), report.F2(sp), c.sch)
 		}
 		res.BT = append(res.BT, btRow)
 		res.Best = append(res.Best, bestRow)

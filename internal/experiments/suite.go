@@ -7,6 +7,9 @@ package experiments
 import (
 	"fmt"
 	"hash/fnv"
+	"runtime"
+	"sort"
+	"sync"
 
 	"bettertogether/internal/apps/alexnet"
 	"bettertogether/internal/apps/octree"
@@ -33,7 +36,9 @@ var deviceLabels = map[string]string{
 
 // Suite owns the evaluation fleet and caches profiling runs, which are
 // shared across experiments exactly as the paper reuses one profiling
-// table per app-device pair.
+// table per app-device pair. A Suite is safe for concurrent use: the
+// profiling cache is guarded by a mutex with per-combo singleflight, so
+// one combo never profiles twice even under concurrent callers.
 type Suite struct {
 	Devices []*soc.Device
 	Apps    []*core.Application
@@ -42,8 +47,22 @@ type Suite struct {
 	// Tasks and Warmup configure every measured execution; the paper
 	// measures 30 tasks per run after warmup.
 	Tasks, Warmup int
+	// Workers bounds how many experiment-grid cells run concurrently:
+	// 0 or 1 runs serially (the default), negative selects GOMAXPROCS,
+	// and larger values are capped at GOMAXPROCS. Every cell derives its
+	// seeds from identifying strings alone, so results are identical at
+	// any worker count — pinned by test against the serial path.
+	Workers int
 
-	tables map[string]profiler.Tables
+	mu     sync.Mutex
+	tables map[string]*tableEntry
+}
+
+// tableEntry is one profiling-cache slot; its once gives per-key
+// singleflight without holding the cache mutex across a profiling run.
+type tableEntry struct {
+	once   sync.Once
+	tables profiler.Tables
 }
 
 // NewSuite assembles the paper's 3 applications × 4 devices.
@@ -87,20 +106,92 @@ func seedFor(parts ...string) int64 {
 	return int64(h.Sum64() & 0x7fffffffffffffff)
 }
 
-// Tables returns (and caches) both profiling tables for a combo.
+// Tables returns (and caches) both profiling tables for a combo. It is
+// safe for concurrent use: the cache map is mutex-guarded and each combo
+// profiles exactly once (per-key singleflight) — concurrent callers for
+// the same combo block on the first profiling run and share its result.
 func (s *Suite) Tables(app *core.Application, dev *soc.Device) profiler.Tables {
-	if s.tables == nil {
-		s.tables = make(map[string]profiler.Tables)
-	}
 	key := app.Name + "@" + dev.Name
-	if t, ok := s.tables[key]; ok {
-		return t
+	s.mu.Lock()
+	if s.tables == nil {
+		s.tables = make(map[string]*tableEntry)
 	}
-	cfg := s.ProfCfg
-	cfg.Seed = s.ProfCfg.Seed + seedFor("profile", key)%100000
-	t := profiler.ProfileBoth(app, dev, cfg)
-	s.tables[key] = t
-	return t
+	e, ok := s.tables[key]
+	if !ok {
+		e = &tableEntry{}
+		s.tables[key] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() {
+		cfg := s.ProfCfg
+		cfg.Seed = s.ProfCfg.Seed + seedFor("profile", key)%100000
+		e.tables = profiler.ProfileBoth(app, dev, cfg)
+	})
+	return e.tables
+}
+
+// workers resolves the grid worker bound for n cells.
+func (s *Suite) workers(n int) int {
+	w := s.Workers
+	if w < 0 || w > runtime.GOMAXPROCS(0) {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// forEach runs fn(0..n-1) — one call per experiment-grid cell — across
+// the suite's worker pool, serially when Workers is 0 or 1. Cells must
+// write results into caller-owned slots indexed by i; aggregation and
+// rendering stay serial in the caller, which is what keeps parallel
+// output byte-identical to the serial path. When cells fail, the error
+// with the lowest index is returned regardless of completion order.
+func (s *Suite) forEach(n int, fn func(i int) error) error {
+	w := s.workers(n)
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	errs := make(map[int]error)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					errs[i] = err
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	if len(errs) == 0 {
+		return nil
+	}
+	keys := make([]int, 0, len(errs))
+	for i := range errs {
+		keys = append(keys, i)
+	}
+	sort.Ints(keys)
+	return errs[keys[0]]
 }
 
 // runOpts builds deterministic execution options for a combo and purpose.

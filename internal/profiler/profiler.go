@@ -86,7 +86,10 @@ func (t Tables) For(mode core.ProfileMode) *core.ProfileTable {
 // InterferenceRatios returns, per PU class, the mean over stages of
 // heavy/isolated latency — the quantity Fig. 7 plots per device. Values
 // above 1 are slowdowns under contention; below 1 are the counter-
-// intuitive speedups (GPU clock boosts) of Sec. 5.3.
+// intuitive speedups (GPU clock boosts) of Sec. 5.3. A class with no
+// stage measured at a positive isolated latency has no defined ratio and
+// is omitted from the map rather than reported as NaN (stats.Mean of an
+// empty slice), which would otherwise flow silently into Fig. 7 reports.
 func InterferenceRatios(t Tables) map[core.PUClass]float64 {
 	out := make(map[core.PUClass]float64, len(t.Heavy.PUs))
 	for j, pu := range t.Heavy.PUs {
@@ -96,6 +99,9 @@ func InterferenceRatios(t Tables) map[core.PUClass]float64 {
 			if iso > 0 {
 				ratios = append(ratios, t.Heavy.Latency[i][j]/iso)
 			}
+		}
+		if len(ratios) == 0 {
+			continue
 		}
 		out[pu] = stats.Mean(ratios)
 	}

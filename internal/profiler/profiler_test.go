@@ -1,6 +1,7 @@
 package profiler
 
 import (
+	"math"
 	"testing"
 
 	"bettertogether/internal/apps/alexnet"
@@ -146,5 +147,41 @@ func TestConfigDefaults(t *testing.T) {
 	c := Config{}.withDefaults()
 	if c.Reps != DefaultReps {
 		t.Errorf("default reps = %d", c.Reps)
+	}
+}
+
+func TestInterferenceRatiosOmitsUnmeasuredClass(t *testing.T) {
+	// Regression: a PU class with no stage at a positive isolated latency
+	// used to produce NaN (mean of an empty slice) that flowed silently
+	// into Fig. 7. Such a class must be omitted from the map entirely.
+	stages := []string{"s0", "s1"}
+	pus := []core.PUClass{core.ClassBig, core.ClassGPU}
+	iso := core.NewProfileTable("app", "dev", core.Isolated, stages, pus)
+	heavy := core.NewProfileTable("app", "dev", core.InterferenceHeavy, stages, pus)
+	// Big is fully measured; the GPU column stays at its NaN/zero
+	// initialization (one entry explicitly zeroed, one left NaN).
+	iso.Set(0, core.ClassBig, 1.0)
+	iso.Set(1, core.ClassBig, 2.0)
+	iso.Set(0, core.ClassGPU, 0)
+	heavy.Set(0, core.ClassBig, 1.5)
+	heavy.Set(1, core.ClassBig, 4.0)
+	heavy.Set(0, core.ClassGPU, 3.0)
+	heavy.Set(1, core.ClassGPU, 3.0)
+
+	out := InterferenceRatios(Tables{Isolated: iso, Heavy: heavy})
+	if _, ok := out[core.ClassGPU]; ok {
+		t.Errorf("GPU class reported despite no measurable stage: %v", out[core.ClassGPU])
+	}
+	got, ok := out[core.ClassBig]
+	if !ok {
+		t.Fatal("big class missing")
+	}
+	if want := (1.5/1.0 + 4.0/2.0) / 2; math.Abs(got-want) > 1e-12 {
+		t.Errorf("big ratio %v, want %v", got, want)
+	}
+	for pu, r := range out {
+		if math.IsNaN(r) {
+			t.Errorf("NaN ratio for %s", pu)
+		}
 	}
 }

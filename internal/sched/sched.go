@@ -21,7 +21,8 @@ package sched
 
 import (
 	"fmt"
-	"sort"
+	"runtime"
+	"sync"
 
 	"bettertogether/internal/core"
 	"bettertogether/internal/pipeline"
@@ -99,6 +100,10 @@ const DefaultK = 20
 // T_min/T_max chunk-runtime window.
 const DefaultUtilSlack = 0.40
 
+// gapEps absorbs float rounding when comparing a schedule's gapness
+// against the optimum gap in the utilization filter.
+const gapEps = 1e-15
+
 // Candidate is one ranked schedule with its model prediction.
 type Candidate struct {
 	Schedule core.Schedule
@@ -111,17 +116,26 @@ type Candidate struct {
 
 // Optimizer holds the inputs of an optimization run: the application,
 // the device's affinity map (PU classes), and the profiling tables.
+// Construct with New, which fills the paper's defaults explicitly.
 type Optimizer struct {
 	App    *core.Application
 	Device *soc.Device
 	Tables profiler.Tables
-	// K is the candidate pool size (DefaultK when 0).
+	// K is the candidate pool size. Negative selects DefaultK; an
+	// explicit 0 is honored and yields an empty pool (New sets DefaultK,
+	// so only callers that assign 0 get it).
 	K int
-	// UtilSlack is the utilization filter tolerance (DefaultUtilSlack
-	// when 0).
+	// UtilSlack is the utilization filter tolerance. Negative selects
+	// DefaultUtilSlack; an explicit 0 is honored and admits only
+	// minimum-gapness schedules (New sets DefaultUtilSlack).
 	UtilSlack float64
 	// Objective selects the autotuning metric (latency by default).
 	Objective Objective
+	// Workers bounds concurrent candidate simulations in Autotune: 0
+	// selects GOMAXPROCS, 1 runs serially, higher values are used as
+	// given. Every candidate run is seed-deterministic and independent,
+	// so the measured results are identical at any worker count.
+	Workers int
 }
 
 // New builds an optimizer with defaults.
@@ -130,17 +144,32 @@ func New(app *core.Application, dev *soc.Device, tables profiler.Tables) *Optimi
 }
 
 func (o *Optimizer) k() int {
-	if o.K > 0 {
-		return o.K
+	if o.K < 0 {
+		return DefaultK
 	}
-	return DefaultK
+	return o.K
 }
 
 func (o *Optimizer) slack() float64 {
-	if o.UtilSlack > 0 {
-		return o.UtilSlack
+	if o.UtilSlack < 0 {
+		return DefaultUtilSlack
 	}
-	return DefaultUtilSlack
+	return o.UtilSlack
+}
+
+// workers resolves the Autotune pool size for n candidates.
+func (o *Optimizer) workers(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // table returns the profiling table a strategy predicts with.
@@ -183,25 +212,16 @@ func (o *Optimizer) Candidates(strategy Strategy) []Candidate {
 			return nil
 		}
 		slack := o.slack()
-		var pool []solver.Solution
-		_ = solver.Enumerate(prob, solver.Constraints{}, nil, func(s solver.Solution) bool {
-			if s.Gap() <= gapBest.Gap()+1e-15 || s.Gap() <= slack*s.TMax {
-				pool = append(pool, s)
-			}
-			return true
+		gapCut := gapBest.Gap() + gapEps
+		// Level two: stream the gapness-filtered pool through the
+		// bounded top-K solver — never more than K solutions live, and
+		// branches whose partial T_max already exceeds the K-th incumbent
+		// are pruned. Ranking is by predicted latency; distinctness comes
+		// free (each assignment appears once), which is what the blocking
+		// clauses guarantee in the paper.
+		pool := solver.TopKFiltered(prob, solver.Constraints{}, o.k(), func(s solver.Solution) bool {
+			return s.Gap() <= gapCut || s.Gap() <= slack*s.TMax
 		})
-		// Level two: rank the filtered pool by predicted latency;
-		// distinctness comes free (each assignment appears once), which
-		// is what the blocking clauses guarantee in the paper.
-		sort.Slice(pool, func(a, b int) bool {
-			if pool[a].TMax != pool[b].TMax {
-				return pool[a].TMax < pool[b].TMax
-			}
-			return solver.Key(pool[a].Assign) < solver.Key(pool[b].Assign)
-		})
-		if len(pool) > o.k() {
-			pool = pool[:o.k()]
-		}
 		out := make([]Candidate, len(pool))
 		for i, s := range pool {
 			out[i] = Candidate{Schedule: toSchedule(tab, s.Assign), Predicted: s.TMax, Gap: s.Gap()}
@@ -244,23 +264,57 @@ func (o *Optimizer) score(latency, energy float64) float64 {
 // Autotune executes each candidate on the device and returns the
 // measured latencies and the winner — the paper's final optimization
 // level, which absorbs residual prediction error within performance
-// tiers (Sec. 5.2, Table 4).
+// tiers (Sec. 5.2, Table 4). The candidate simulations run on a worker
+// pool of up to Workers goroutines: each run is seed-deterministic and
+// independent, results land by candidate index, and the winner is
+// selected by an in-order scan afterwards, so the outcome is identical
+// at any worker count.
 func (o *Optimizer) Autotune(cands []Candidate, opts pipeline.Options) (AutotuneResult, error) {
 	res := AutotuneResult{
 		Measured:  make([]float64, len(cands)),
 		Energy:    make([]float64, len(cands)),
 		BestIndex: -1,
 	}
+	// Compile serially: plan validation is cheap next to simulation and
+	// keeps the error contract deterministic (lowest index reports).
+	plans := make([]*pipeline.Plan, len(cands))
 	for i, c := range cands {
 		plan, err := pipeline.NewPlan(o.App, o.Device, c.Schedule)
 		if err != nil {
 			return res, fmt.Errorf("sched: candidate %d invalid: %w", i, err)
 		}
-		r := pipeline.Simulate(plan, opts)
+		plans[i] = plan
+	}
+	measure := func(i int) {
+		r := pipeline.Simulate(plans[i], opts)
 		res.Measured[i] = r.PerTask
 		res.Energy[i] = r.EnergyPerTaskJ
+	}
+	if w := o.workers(len(cands)); w <= 1 {
+		for i := range plans {
+			measure(i)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for g := 0; g < w; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					measure(i)
+				}
+			}()
+		}
+		for i := range plans {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	for i := range cands {
 		if res.BestIndex < 0 ||
-			o.score(r.PerTask, r.EnergyPerTaskJ) < o.score(res.Measured[res.BestIndex], res.Energy[res.BestIndex]) {
+			o.score(res.Measured[i], res.Energy[i]) < o.score(res.Measured[res.BestIndex], res.Energy[res.BestIndex]) {
 			res.BestIndex = i
 		}
 	}

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"sort"
 	"testing"
 
 	"bettertogether/internal/apps/alexnet"
@@ -9,6 +10,7 @@ import (
 	"bettertogether/internal/pipeline"
 	"bettertogether/internal/profiler"
 	"bettertogether/internal/soc"
+	"bettertogether/internal/solver"
 )
 
 func pixelOctreeOptimizer(t *testing.T) *Optimizer {
@@ -147,6 +149,137 @@ func TestAutotuneSelectsMeasuredBest(t *testing.T) {
 		if m < res.Measured[res.BestIndex] {
 			t.Errorf("BestIndex %d not minimal (candidate %d is %v < %v)",
 				res.BestIndex, i, m, res.Measured[res.BestIndex])
+		}
+	}
+}
+
+// materializedCandidates is the pre-streaming reference: enumerate the
+// whole space, filter, sort by (TMax, Key), truncate to K. Candidates
+// must match it exactly for every strategy.
+func materializedCandidates(o *Optimizer, strategy Strategy) []Candidate {
+	tab := o.table(strategy)
+	prob := problem(tab)
+	var filter solver.FilterFunc
+	if strategy == BetterTogether {
+		gapBest, ok := solver.MinimizeGapness(prob, solver.Constraints{})
+		if !ok {
+			return nil
+		}
+		slack := o.slack()
+		gapCut := gapBest.Gap() + gapEps
+		filter = func(s solver.Solution) bool {
+			return s.Gap() <= gapCut || s.Gap() <= slack*s.TMax
+		}
+	}
+	var pool []solver.Solution
+	_ = solver.Enumerate(prob, solver.Constraints{}, nil, func(s solver.Solution) bool {
+		if filter == nil || filter(s) {
+			pool = append(pool, s)
+		}
+		return true
+	})
+	sort.Slice(pool, func(a, b int) bool {
+		if pool[a].TMax != pool[b].TMax {
+			return pool[a].TMax < pool[b].TMax
+		}
+		return solver.Key(pool[a].Assign) < solver.Key(pool[b].Assign)
+	})
+	if len(pool) > o.k() {
+		pool = pool[:o.k()]
+	}
+	out := make([]Candidate, len(pool))
+	for i, s := range pool {
+		out[i] = Candidate{Schedule: toSchedule(tab, s.Assign), Predicted: s.TMax, Gap: s.Gap()}
+	}
+	return out
+}
+
+func TestCandidatesMatchMaterializedReference(t *testing.T) {
+	o := pixelOctreeOptimizer(t)
+	for _, k := range []int{1, 5, 20, 500} {
+		o.K = k
+		for _, strat := range []Strategy{BetterTogether, LatencyOnlyHeavy, LatencyOnlyIsolated} {
+			got := o.Candidates(strat)
+			want := materializedCandidates(o, strat)
+			if len(got) != len(want) {
+				t.Fatalf("%v K=%d: %d candidates, want %d", strat, k, len(got), len(want))
+			}
+			for i := range want {
+				if !got[i].Schedule.Equal(want[i].Schedule) ||
+					got[i].Predicted != want[i].Predicted || got[i].Gap != want[i].Gap {
+					t.Fatalf("%v K=%d rank %d: got %s (%v, %v), want %s (%v, %v)",
+						strat, k, i, got[i].Schedule, got[i].Predicted, got[i].Gap,
+						want[i].Schedule, want[i].Predicted, want[i].Gap)
+				}
+			}
+		}
+	}
+}
+
+func TestOptimizerZeroValuesHonored(t *testing.T) {
+	o := pixelOctreeOptimizer(t)
+
+	// An explicit K = 0 yields an empty pool, not the default 20.
+	o.K = 0
+	for _, strat := range []Strategy{BetterTogether, LatencyOnlyHeavy, LatencyOnlyIsolated} {
+		if got := o.Candidates(strat); len(got) != 0 {
+			t.Errorf("%v: K=0 returned %d candidates", strat, len(got))
+		}
+	}
+	// Negative still selects the default.
+	o.K = -1
+	if got := o.Candidates(BetterTogether); len(got) == 0 || len(got) > DefaultK {
+		t.Errorf("K=-1: %d candidates, want 1..%d", len(got), DefaultK)
+	}
+
+	// An explicit UtilSlack = 0 admits only minimum-gapness schedules.
+	o.K = DefaultK
+	o.UtilSlack = 0
+	zero := o.Candidates(BetterTogether)
+	if len(zero) == 0 {
+		t.Fatal("UtilSlack=0 returned no candidates (min-gap schedule must pass)")
+	}
+	minGap := zero[0].Gap
+	for _, c := range zero {
+		if c.Gap < minGap {
+			minGap = c.Gap
+		}
+	}
+	for _, c := range zero {
+		if c.Gap > minGap+gapEps {
+			t.Errorf("UtilSlack=0 admitted gap %v > optimum %v", c.Gap, minGap)
+		}
+	}
+	// The default slack admits more than the zero-slack pool on this
+	// problem — proving 0 was not silently replaced by 0.40.
+	o.UtilSlack = -1
+	if def := o.Candidates(BetterTogether); len(def) <= len(zero) {
+		t.Errorf("default slack pool (%d) not larger than zero-slack pool (%d)", len(def), len(zero))
+	}
+}
+
+func TestAutotuneParallelMatchesSerial(t *testing.T) {
+	o := pixelOctreeOptimizer(t)
+	cands := o.Candidates(BetterTogether)
+	opts := pipeline.Options{Tasks: 12, Warmup: 2, Seed: 17}
+
+	o.Workers = 1
+	serial, err := o.Autotune(cands, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Workers = 8
+	par, err := o.Autotune(cands, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.BestIndex != serial.BestIndex {
+		t.Errorf("BestIndex %d != serial %d", par.BestIndex, serial.BestIndex)
+	}
+	for i := range cands {
+		if par.Measured[i] != serial.Measured[i] || par.Energy[i] != serial.Energy[i] {
+			t.Errorf("candidate %d: parallel (%v, %v) != serial (%v, %v)",
+				i, par.Measured[i], par.Energy[i], serial.Measured[i], serial.Energy[i])
 		}
 	}
 }

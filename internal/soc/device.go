@@ -176,9 +176,12 @@ func (d *Device) Estimate(cost core.CostSpec, class core.PUClass, env Env) float
 		myIntensity := d.Intensity(cost, class)
 		myDemand := pu.MemBWGBs * myIntensity
 		total := myDemand
-		for bc, load := range env {
-			if bpu := d.PU(bc); bpu != nil {
-				total += bpu.MemBWGBs * load.MemIntensity
+		// Accumulate in device PU order, not env map order: ranging over
+		// the map sums in randomized order, which perturbs the total by an
+		// ULP between runs and breaks bit-exact reproducibility.
+		for i := range d.PUs {
+			if load, ok := env[d.PUs[i].Class]; ok {
+				total += d.PUs[i].MemBWGBs * load.MemIntensity
 			}
 		}
 		avail := pu.MemBWGBs

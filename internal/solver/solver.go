@@ -21,6 +21,7 @@ package solver
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -238,6 +239,124 @@ func MinimizeLatency(p *Problem, cons Constraints) (best Solution, ok bool) {
 	return best, ok
 }
 
+// worseSolution is the total order every top-K query ranks by: higher
+// TMax is worse, ties broken by assignment key (keys are unique per
+// assignment, so the order is total and deterministic).
+func worseSolution(a, b Solution) bool {
+	if a.TMax != b.TMax {
+		return a.TMax > b.TMax
+	}
+	return Key(a.Assign) > Key(b.Assign)
+}
+
+// topKHeap is a bounded max-heap of incumbent solutions ordered by
+// worseSolution: the root is the worst incumbent, so a streaming offer
+// either rejects in O(1) or replaces the root in O(log k). It holds at
+// most k solutions no matter how many stream through.
+type topKHeap struct {
+	k    int
+	sols []Solution
+}
+
+func (h *topKHeap) full() bool { return len(h.sols) == h.k }
+
+// bound is the incumbent latency frontier: once the heap is full, no
+// solution — and by extension no branch whose partial bottleneck already
+// exceeds it — with TMax strictly above the worst incumbent's can enter.
+func (h *topKHeap) bound() float64 {
+	if !h.full() {
+		return math.Inf(1)
+	}
+	return h.sols[0].TMax
+}
+
+func (h *topKHeap) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		worst := i
+		if l < len(h.sols) && worseSolution(h.sols[l], h.sols[worst]) {
+			worst = l
+		}
+		if r < len(h.sols) && worseSolution(h.sols[r], h.sols[worst]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h.sols[i], h.sols[worst] = h.sols[worst], h.sols[i]
+		i = worst
+	}
+}
+
+// offer streams one solution through the bounded incumbent set.
+func (h *topKHeap) offer(s Solution) {
+	if !h.full() {
+		h.sols = append(h.sols, s)
+		for i := len(h.sols) - 1; i > 0; {
+			parent := (i - 1) / 2
+			if !worseSolution(h.sols[i], h.sols[parent]) {
+				break
+			}
+			h.sols[i], h.sols[parent] = h.sols[parent], h.sols[i]
+			i = parent
+		}
+		return
+	}
+	if worseSolution(s, h.sols[0]) {
+		return
+	}
+	h.sols[0] = s
+	h.siftDown(0)
+}
+
+// sorted drains the heap into the canonical ascending (TMax, Key) order.
+func (h *topKHeap) sorted() []Solution {
+	if len(h.sols) == 0 {
+		return nil
+	}
+	out := h.sols
+	h.sols = nil
+	sort.Slice(out, func(a, b int) bool { return worseSolution(out[b], out[a]) })
+	return out
+}
+
+// FilterFunc accepts or rejects a complete feasible solution before it
+// enters a bounded candidate pool. It must be pure: the same solution
+// always gets the same verdict.
+type FilterFunc func(Solution) bool
+
+// TopKFiltered returns up to k feasible assignments passing filter with
+// the smallest TMax, ascending (ties broken by assignment key for
+// determinism). It is the streaming equivalent of enumerating every
+// feasible solution, filtering, sorting by (TMax, Key) and truncating to
+// k — pinned byte-identical by test — but never materializes the
+// solution pool: candidates stream through a bounded max-heap of
+// incumbents, and branches whose partial bottleneck already exceeds the
+// k-th incumbent's TMax are pruned (the same prune shape as
+// TopKByLatency). The prune stays sound under any filter because a
+// filter only discards solutions: every completion of a pruned branch
+// has TMax at or above the partial bottleneck, so none could displace an
+// incumbent whether the filter admits it or not. A nil filter admits
+// everything.
+func TopKFiltered(p *Problem, cons Constraints, k int, filter FilterFunc) []Solution {
+	if k <= 0 {
+		return nil
+	}
+	top := &topKHeap{k: k}
+	_ = Enumerate(p, cons,
+		func(stage int, closedMax, closedMin, curSum float64) bool {
+			return math.Max(closedMax, curSum) > top.bound()
+		},
+		func(s Solution) bool {
+			if filter != nil && !filter(s) {
+				return true
+			}
+			top.offer(s)
+			return true
+		})
+	return top.sorted()
+}
+
 // TopKByLatency returns up to k feasible assignments with the smallest
 // TMax, ascending (ties broken by assignment key for determinism). It
 // reproduces the paper's optimization two: repeated solving with
@@ -245,40 +364,5 @@ func MinimizeLatency(p *Problem, cons Constraints) (best Solution, ok bool) {
 // bounded incumbent set, which visits exactly the assignments the
 // iterative blocking loop would.
 func TopKByLatency(p *Problem, cons Constraints, k int) []Solution {
-	if k <= 0 {
-		return nil
-	}
-	var top []Solution
-	worse := func(a, b Solution) bool {
-		if a.TMax != b.TMax {
-			return a.TMax > b.TMax
-		}
-		return Key(a.Assign) > Key(b.Assign)
-	}
-	bound := math.Inf(1)
-	_ = Enumerate(p, cons,
-		func(stage int, closedMax, closedMin, curSum float64) bool {
-			return math.Max(closedMax, curSum) > bound
-		},
-		func(s Solution) bool {
-			if len(top) == k && s.TMax >= bound && worse(s, top[len(top)-1]) {
-				return true
-			}
-			// Insert in sorted position.
-			pos := len(top)
-			for pos > 0 && worse(top[pos-1], s) {
-				pos--
-			}
-			top = append(top, Solution{})
-			copy(top[pos+1:], top[pos:])
-			top[pos] = s
-			if len(top) > k {
-				top = top[:k]
-			}
-			if len(top) == k {
-				bound = top[len(top)-1].TMax
-			}
-			return true
-		})
-	return top
+	return TopKFiltered(p, cons, k, nil)
 }

@@ -1,8 +1,10 @@
 package solver
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -333,6 +335,204 @@ func TestMinimizeLatencyAgainstExhaustive(t *testing.T) {
 		return math.Abs(best.TMax-exhaustiveBest) < 1e-12
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// materializeTopK is the reference semantics TopKFiltered must match:
+// enumerate every feasible solution, filter, sort by (TMax, Key),
+// truncate to k — the pre-streaming implementation of sched.Candidates.
+func materializeTopK(p *Problem, cons Constraints, k int, filter FilterFunc) []Solution {
+	if k <= 0 {
+		return nil
+	}
+	var pool []Solution
+	_ = Enumerate(p, cons, nil, func(s Solution) bool {
+		if filter == nil || filter(s) {
+			pool = append(pool, s)
+		}
+		return true
+	})
+	sort.Slice(pool, func(a, b int) bool {
+		if pool[a].TMax != pool[b].TMax {
+			return pool[a].TMax < pool[b].TMax
+		}
+		return Key(pool[a].Assign) < Key(pool[b].Assign)
+	})
+	if len(pool) > k {
+		pool = pool[:k]
+	}
+	return pool
+}
+
+func sameSolutions(t *testing.T, label string, got, want []Solution) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d solutions, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if Key(got[i].Assign) != Key(want[i].Assign) {
+			t.Fatalf("%s: rank %d = %s, want %s", label, i, Key(got[i].Assign), Key(want[i].Assign))
+		}
+		if got[i].TMax != want[i].TMax || got[i].TMin != want[i].TMin {
+			t.Fatalf("%s: rank %d TMax/TMin %v/%v, want %v/%v",
+				label, i, got[i].TMax, got[i].TMin, want[i].TMax, want[i].TMin)
+		}
+		if len(got[i].ChunkTimes) != len(want[i].ChunkTimes) {
+			t.Fatalf("%s: rank %d chunk counts differ", label, i)
+		}
+	}
+}
+
+// The tentpole pin: the streaming bounded-heap path must produce output
+// identical to materialize-then-sort for random problems, constraints,
+// pool sizes, and filters (including the BetterTogether gapness filter).
+func TestTopKFilteredMatchesMaterialize(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 40; trial++ {
+		n, m := 2+rng.Intn(7), 1+rng.Intn(4)
+		p := &Problem{N: n, M: m, Time: make([][]float64, n)}
+		for i := range p.Time {
+			p.Time[i] = make([]float64, m)
+			for j := range p.Time[i] {
+				p.Time[i][j] = rng.Float64() * 10
+			}
+		}
+		var cons Constraints
+		if trial%3 == 1 {
+			cons.ChunkMax = 5 + rng.Float64()*20
+		}
+		if trial%4 == 2 {
+			cons.ChunkMin = rng.Float64() * 2
+		}
+		// The gapness filter at a random slack, as sched.Candidates uses;
+		// every third trial runs unfiltered.
+		gapBest, ok := MinimizeGapness(p, cons)
+		var filter FilterFunc
+		if ok && trial%3 != 0 {
+			slack := rng.Float64()
+			cut := gapBest.Gap() + 1e-15
+			filter = func(s Solution) bool {
+				return s.Gap() <= cut || s.Gap() <= slack*s.TMax
+			}
+		}
+		for _, k := range []int{1, 2, 5, 20, 1 << 20} {
+			got := TopKFiltered(p, cons, k, filter)
+			want := materializeTopK(p, cons, k, filter)
+			sameSolutions(t, fmt.Sprintf("trial %d k=%d", trial, k), got, want)
+		}
+	}
+}
+
+func TestTopKFilteredRejectAll(t *testing.T) {
+	p := simpleProblem()
+	if got := TopKFiltered(p, Constraints{}, 5, func(Solution) bool { return false }); got != nil {
+		t.Fatalf("reject-all filter returned %d solutions", len(got))
+	}
+	if got := TopKFiltered(p, Constraints{}, 0, nil); got != nil {
+		t.Fatal("k=0 should be nil")
+	}
+}
+
+// ChunkMin/ChunkMax must interact correctly with the gapness incumbent
+// prune: the pruned branch-and-bound optimum equals the optimum of the
+// exhaustively enumerated constrained space.
+func TestMinimizeGapnessUnderChunkBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n, m := 2+rng.Intn(6), 1+rng.Intn(4)
+		p := &Problem{N: n, M: m, Time: make([][]float64, n)}
+		for i := range p.Time {
+			p.Time[i] = make([]float64, m)
+			for j := range p.Time[i] {
+				p.Time[i][j] = rng.Float64() * 10
+			}
+		}
+		cons := Constraints{ChunkMax: 4 + rng.Float64()*16, ChunkMin: rng.Float64() * 3}
+		best, ok := MinimizeGapness(p, cons)
+		exhaustive := math.Inf(1)
+		count := 0
+		_ = Enumerate(p, cons, nil, func(s Solution) bool {
+			count++
+			exhaustive = math.Min(exhaustive, s.Gap())
+			// Feasibility double-check under both bounds.
+			for _, ct := range s.ChunkTimes {
+				if ct > cons.ChunkMax+1e-12 || ct < cons.ChunkMin-1e-12 {
+					t.Fatalf("trial %d: chunk %v outside [%v, %v]", trial, ct, cons.ChunkMin, cons.ChunkMax)
+				}
+			}
+			return true
+		})
+		if !ok {
+			if count != 0 {
+				t.Fatalf("trial %d: solver says infeasible but %d solutions exist", trial, count)
+			}
+			continue
+		}
+		if math.Abs(best.Gap()-exhaustive) > 1e-12 {
+			t.Fatalf("trial %d: pruned gap %v != exhaustive %v", trial, best.Gap(), exhaustive)
+		}
+	}
+}
+
+// Blocked keys must be excluded from TopKByLatency and the remaining
+// ranking must equal the reference ranking of the unblocked space.
+func TestTopKByLatencyExcludesBlocked(t *testing.T) {
+	p := &Problem{N: 5, M: 3, Time: make([][]float64, 5)}
+	rng := rand.New(rand.NewSource(11))
+	for i := range p.Time {
+		p.Time[i] = []float64{rng.Float64() * 5, rng.Float64() * 5, rng.Float64() * 5}
+	}
+	full := TopKByLatency(p, Constraints{}, 6)
+	if len(full) < 4 {
+		t.Fatalf("space too small: %d", len(full))
+	}
+	// Block the top two: the ranking must shift up by exactly two.
+	blocked := map[string]bool{Key(full[0].Assign): true, Key(full[1].Assign): true}
+	cons := Constraints{Blocked: blocked}
+	rest := TopKByLatency(p, cons, 4)
+	sameSolutions(t, "blocked", rest, materializeTopK(p, cons, 4, nil))
+	for _, s := range rest {
+		if blocked[Key(s.Assign)] {
+			t.Fatalf("blocked assignment %s returned", Key(s.Assign))
+		}
+	}
+	if Key(rest[0].Assign) != Key(full[2].Assign) {
+		t.Errorf("blocking the top two did not promote rank 3: got %s, want %s",
+			Key(rest[0].Assign), Key(full[2].Assign))
+	}
+}
+
+// ChunkMin interacts subtly with the latency prune: a partial branch may
+// look good but be un-closeable under ChunkMin. The bounded search must
+// agree with exhaustive enumeration anyway.
+func TestTopKFilteredChunkMinGapnessInteraction(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, m := 2+rng.Intn(5), 1+rng.Intn(4)
+		p := &Problem{N: n, M: m, Time: make([][]float64, n)}
+		for i := range p.Time {
+			p.Time[i] = make([]float64, m)
+			for j := range p.Time[i] {
+				p.Time[i][j] = rng.Float64() * 10
+			}
+		}
+		cons := Constraints{ChunkMin: rng.Float64() * 4}
+		slack := rng.Float64() * 0.8
+		filter := func(s Solution) bool { return s.Gap() <= slack*s.TMax }
+		got := TopKFiltered(p, cons, 10, filter)
+		want := materializeTopK(p, cons, 10, filter)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if Key(got[i].Assign) != Key(want[i].Assign) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
 	}
 }
