@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"bettertogether/internal/cli"
 	"bettertogether/internal/experiments"
 	"bettertogether/internal/report"
 )
@@ -39,8 +40,7 @@ func main() {
 	for _, id := range ids {
 		t0 := time.Now()
 		if err := run(s, strings.TrimSpace(id)); err != nil {
-			fmt.Fprintf(os.Stderr, "btbench: %s: %v\n", id, err)
-			os.Exit(1)
+			cli.Fatalf("btbench", "%s: %v", id, err)
 		}
 		if *timing {
 			fmt.Fprintf(os.Stderr, "btbench: %-12s %8.1f ms\n", id, time.Since(t0).Seconds()*1e3)

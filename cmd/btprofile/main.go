@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"bettertogether/internal/cli"
 	"bettertogether/internal/core"
 	"bettertogether/internal/profiler"
 	"bettertogether/internal/report"
@@ -99,9 +100,4 @@ func classStrings(pus []core.PUClass) []string {
 	return out
 }
 
-func fatalIf(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "btprofile:", err)
-		os.Exit(1)
-	}
-}
+func fatalIf(err error) { cli.FatalIf("btprofile", err) }

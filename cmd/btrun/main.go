@@ -1,4 +1,4 @@
-// Command btrun executes a pipeline schedule on a device, either on the
+// Command btrun executes pipeline schedules on a device, either on the
 // discrete-event simulator (virtual device time, the measurement path of
 // the evaluation) or with the real concurrent engine (actual Go kernels
 // on worker pools, wall-clock time).
@@ -8,9 +8,16 @@
 //	btrun -app octree -device pixel7a -schedule auto
 //	btrun -app octree -device pixel7a -schedule big,big,gpu,gpu,gpu,big,big
 //	btrun -app alexnet-dense -device jetson -schedule gpu -engine real
+//	btrun -app octree -app alexnet-sparse -device oneplus11 -gantt
 //
 // A single class name replicates across all stages (homogeneous
 // baseline); "auto" runs the full BetterTogether optimization first.
+//
+// Repeating -app enters multi-app mode: a long-lived runtime admits each
+// application as a concurrent session (optionally staggered with
+// -admit-after), plans each one against the interference the others
+// create, re-plans residents on every admission and departure, and
+// prints a per-session summary with a merged session-qualified Gantt.
 package main
 
 import (
@@ -19,17 +26,57 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"bettertogether/internal/cli"
+	"bettertogether/internal/report"
+	btruntime "bettertogether/internal/runtime"
 	"bettertogether/pkg/bt"
 	"bettertogether/pkg/btapps"
 )
 
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+// delayFlag collects a repeatable duration flag.
+type delayFlag []time.Duration
+
+func (d *delayFlag) String() string {
+	parts := make([]string, len(*d))
+	for i, v := range *d {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+func (d *delayFlag) Set(v string) error {
+	dur, err := time.ParseDuration(v)
+	if err != nil {
+		return err
+	}
+	if dur < 0 {
+		return fmt.Errorf("negative delay %s", dur)
+	}
+	*d = append(*d, dur)
+	return nil
+}
+
 func main() {
-	appName := flag.String("app", "octree", "application: alexnet-dense, alexnet-sparse, octree, vision")
+	var apps multiFlag
+	var delays delayFlag
+	flag.Var(&apps, "app", "application: alexnet-dense, alexnet-sparse, octree, vision (repeat for multi-app mode)")
+	flag.Var(&delays, "admit-after", "multi-app: delay before admitting the matching -app (repeatable, in order; missing entries mean no delay)")
 	devName := flag.String("device", "pixel7a", "device: pixel7a, oneplus11, jetson, jetson-lp")
 	schedule := flag.String("schedule", "auto", `comma-separated PU classes per stage, one class for all, or "auto"`)
 	engine := flag.String("engine", "sim", "execution engine: sim (virtual device time) or real (actual kernels)")
-	tasks := flag.Int("tasks", 30, "measured tasks")
+	tasks := flag.Int("tasks", 30, "measured tasks (per session in multi-app mode)")
 	warmup := flag.Int("warmup", 5, "warmup tasks excluded from metrics")
 	seed := flag.Int64("seed", 1, "simulation noise seed")
 	gantt := flag.Bool("gantt", false, "render an ASCII Gantt chart of the run (either engine)")
@@ -38,61 +85,61 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "cancel a real-engine run after this duration (0 = no limit)")
 	flag.Parse()
 
-	app, err := btapps.ByName(*appName)
-	fatalIf(err)
-	dev, err := bt.DeviceByName(*devName)
-	fatalIf(err)
-
-	var sch bt.Schedule
-	switch {
-	case *schedule == "auto":
-		fmt.Fprintln(os.Stderr, "btrun: profiling and optimizing...")
-		sch, err = bt.AutoSchedule(app, dev)
-		fatalIf(err)
-	case !strings.Contains(*schedule, ","):
-		sch = bt.NewUniformSchedule(len(app.Stages), bt.PUClass(*schedule))
-	default:
-		for _, c := range strings.Split(*schedule, ",") {
-			sch.Assign = append(sch.Assign, bt.PUClass(strings.TrimSpace(c)))
-		}
+	if len(apps) == 0 {
+		apps = multiFlag{"octree"}
 	}
+	dev, err := bt.DeviceByName(*devName)
+	cli.FatalIf("btrun", err)
+	eng, err := bt.EngineByName(*engine)
+	cli.FatalIf("btrun", err)
+
+	if len(apps) > 1 {
+		runMulti(apps, delays, dev, eng, *schedule, *tasks, *warmup, *seed,
+			*gantt || *traceFlag, *metricsFlag)
+		return
+	}
+	runSingle(apps[0], dev, eng, *schedule, *engine, *tasks, *warmup, *seed,
+		*gantt || *traceFlag, *metricsFlag, *timeout)
+}
+
+// runSingle is the classic one-application path: compile one plan and
+// drive it through the selected engine once.
+func runSingle(appName string, dev *bt.Device, eng bt.Engine, schedule, engineName string,
+	tasks, warmup int, seed int64, wantTrace, wantMetrics bool, timeout time.Duration) {
+	app, err := btapps.ByName(appName)
+	cli.FatalIf("btrun", err)
+
+	sch, err := parseSchedule(schedule, app, dev)
+	cli.FatalIf("btrun", err)
 
 	plan, err := bt.NewPlan(app, dev, sch)
-	fatalIf(err)
-	opts := bt.RunOptions{Tasks: *tasks, Warmup: *warmup, Seed: *seed}
+	cli.FatalIf("btrun", err)
+	opts := bt.RunOptions{Tasks: tasks, Warmup: warmup, Seed: seed}
 	var tl *bt.Timeline
-	if *gantt || *traceFlag {
+	if wantTrace {
 		tl = &bt.Timeline{}
 		opts.Trace = tl
 	}
 	var m *bt.Metrics
-	if *metricsFlag {
+	if wantMetrics {
 		m = bt.NewMetrics(plan)
 		opts.Metrics = m
 	}
 
-	var r bt.RunResult
-	switch *engine {
-	case "sim":
-		r = bt.Simulate(plan, opts)
-	case "real":
-		ctx := context.Background()
-		if *timeout > 0 {
-			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, *timeout)
-			defer cancel()
-		}
-		r = bt.ExecuteContext(ctx, plan, opts)
-		if r.Err != nil {
-			fmt.Fprintln(os.Stderr, "btrun: run ended with error:", r.Err)
-		}
-	default:
-		fatalIf(fmt.Errorf("unknown engine %q", *engine))
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	r := eng.Run(ctx, plan, opts)
+	if r.Err != nil {
+		fmt.Fprintln(os.Stderr, "btrun: run ended with error:", r.Err)
 	}
 
 	fmt.Printf("app       %s\ndevice    %s\nschedule  %s\nengine    %s\n",
-		app.Name, dev.Label, sch, *engine)
-	fmt.Printf("tasks     %d (+%d warmup)\n", *tasks, *warmup)
+		app.Name, dev.Label, sch, engineName)
+	fmt.Printf("tasks     %d (+%d warmup)\n", tasks, warmup)
 	fmt.Printf("per-task  %.3f ms\nelapsed   %.3f ms\n", r.PerTask*1e3, r.Elapsed*1e3)
 	if len(r.ChunkBusy) > 0 {
 		fmt.Printf("chunk busy fractions: ")
@@ -119,9 +166,73 @@ func main() {
 	}
 }
 
-func fatalIf(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "btrun:", err)
+// runMulti admits every application into one runtime, staggered by the
+// -admit-after delays, and reports per-session results plus the merged
+// Gantt. The runtime plans each session itself, so an explicit -schedule
+// is rejected.
+func runMulti(apps []string, delays []time.Duration, dev *bt.Device, eng bt.Engine,
+	schedule string, tasks, warmup int, seed int64, wantTrace, wantMetrics bool) {
+	if schedule != "auto" {
+		cli.Fatalf("btrun", "multi-app mode plans each session itself; drop -schedule (got %q)", schedule)
+	}
+	rt, err := btruntime.New(btruntime.Config{Device: dev, Engine: eng, Seed: seed})
+	cli.FatalIf("btrun", err)
+	defer rt.Close()
+
+	failed := false
+	for i, name := range apps {
+		app, err := btapps.ByName(name)
+		cli.FatalIf("btrun", err)
+		if i < len(delays) && delays[i] > 0 {
+			time.Sleep(delays[i])
+		}
+		fmt.Fprintf(os.Stderr, "btrun: admitting %s...\n", app.Name)
+		s, err := rt.Admit(app, btruntime.AdmitOptions{
+			Tasks:          tasks,
+			Warmup:         warmup,
+			Seed:           seed + int64(i)*7919,
+			CollectMetrics: wantMetrics,
+			CollectTrace:   wantTrace,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "btrun:", err)
+			failed = true
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "btrun: admitted %s with schedule %s\n", s.Name(), s.Schedule())
+	}
+	rt.Wait()
+
+	fmt.Print(rt.Report(100))
+	for _, s := range rt.Sessions() {
+		if res := s.Wait(); res.Err != nil {
+			failed = true
+		}
+		if m := s.Metrics(); m != nil {
+			fmt.Println()
+			fmt.Print(report.Section(fmt.Sprintf("metrics — %s", s.Name()), m.Table()))
+		}
+	}
+	if failed {
 		os.Exit(1)
+	}
+}
+
+// parseSchedule resolves the -schedule flag against an application:
+// "auto" optimizes, a bare class replicates, and a comma list maps
+// per stage.
+func parseSchedule(schedule string, app *bt.Application, dev *bt.Device) (bt.Schedule, error) {
+	var sch bt.Schedule
+	switch {
+	case schedule == "auto":
+		fmt.Fprintln(os.Stderr, "btrun: profiling and optimizing...")
+		return bt.AutoSchedule(app, dev)
+	case !strings.Contains(schedule, ","):
+		return bt.NewUniformSchedule(len(app.Stages), bt.PUClass(schedule)), nil
+	default:
+		for _, c := range strings.Split(schedule, ",") {
+			sch.Assign = append(sch.Assign, bt.PUClass(strings.TrimSpace(c)))
+		}
+		return sch, nil
 	}
 }

@@ -12,8 +12,8 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 
+	"bettertogether/internal/cli"
 	"bettertogether/internal/report"
 	"bettertogether/pkg/bt"
 	"bettertogether/pkg/btapps"
@@ -89,9 +89,4 @@ func main() {
 		best.Schedule, report.Ms(tune.Measured[tune.BestIndex]))
 }
 
-func fatalIf(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "btsched:", err)
-		os.Exit(1)
-	}
-}
+func fatalIf(err error) { cli.FatalIf("btsched", err) }

@@ -1,0 +1,32 @@
+// Package cli holds the small conventions shared by every command in
+// cmd/: errors print to stderr as "<cmd>: <message>" and terminate the
+// process with exit code 1. Centralizing them keeps the tools' failure
+// behavior uniform (and testable — osExit is patchable).
+package cli
+
+import (
+	"fmt"
+	"os"
+)
+
+// osExit is patched by tests to observe exit codes without dying.
+var osExit = os.Exit
+
+// Fatal prints "<cmd>: <err>" to stderr and exits 1.
+func Fatal(cmd string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", cmd, err)
+	osExit(1)
+}
+
+// FatalIf is Fatal when err is non-nil and a no-op otherwise — the
+// common guard after each fallible setup step.
+func FatalIf(cmd string, err error) {
+	if err != nil {
+		Fatal(cmd, err)
+	}
+}
+
+// Fatalf is Fatal with a formatted message.
+func Fatalf(cmd, format string, args ...any) {
+	Fatal(cmd, fmt.Errorf(format, args...))
+}

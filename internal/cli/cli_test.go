@@ -1,0 +1,51 @@
+package cli
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// withExitCapture patches osExit to record codes instead of terminating,
+// runs fn, and returns the recorded codes.
+func withExitCapture(fn func()) []int {
+	var codes []int
+	old := osExit
+	osExit = func(code int) { codes = append(codes, code) }
+	defer func() { osExit = old }()
+	fn()
+	return codes
+}
+
+func TestFatalExitsOne(t *testing.T) {
+	codes := withExitCapture(func() { Fatal("bttest", errors.New("boom")) })
+	if len(codes) != 1 || codes[0] != 1 {
+		t.Fatalf("Fatal exit codes = %v, want [1]", codes)
+	}
+}
+
+func TestFatalIfNilIsNoop(t *testing.T) {
+	codes := withExitCapture(func() { FatalIf("bttest", nil) })
+	if len(codes) != 0 {
+		t.Fatalf("FatalIf(nil) exited with %v, want no exit", codes)
+	}
+}
+
+func TestFatalIfErrorExits(t *testing.T) {
+	codes := withExitCapture(func() { FatalIf("bttest", errors.New("boom")) })
+	if len(codes) != 1 || codes[0] != 1 {
+		t.Fatalf("FatalIf(err) exit codes = %v, want [1]", codes)
+	}
+}
+
+func TestFatalfFormats(t *testing.T) {
+	codes := withExitCapture(func() { Fatalf("bttest", "unknown engine %q", "warp") })
+	if len(codes) != 1 || codes[0] != 1 {
+		t.Fatalf("Fatalf exit codes = %v, want [1]", codes)
+	}
+	// The formatted error itself must be well-formed.
+	err := fmt.Errorf("unknown engine %q", "warp")
+	if err.Error() != `unknown engine "warp"` {
+		t.Fatalf("format sanity: %q", err)
+	}
+}

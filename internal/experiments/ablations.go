@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -155,7 +156,7 @@ func (s *Suite) AblationBuffers() (BufferSweepResult, string, error) {
 	}
 	first := 0.0
 	for _, b := range []int{1, 2, 3, 4, 6, 8} {
-		r := pipeline.Simulate(plan, pipeline.Options{
+		r := simEngine.Run(context.Background(), plan, pipeline.Options{
 			Tasks: s.Tasks, Warmup: s.Warmup, Buffers: b,
 			Seed: seedFor("abl-buffers", app.Name, dev.Name),
 		})

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"bettertogether/internal/core"
@@ -52,7 +53,7 @@ func (s *Suite) ExtEnergy() (EnergyResult, string, error) {
 				if err != nil {
 					return 0, err
 				}
-				return pipeline.Simulate(plan, opts).EnergyPerTaskJ, nil
+				return simEngine.Run(context.Background(), plan, opts).EnergyPerTaskJ, nil
 			}
 			btJ, err := energyOf(best.Schedule)
 			if err != nil {

@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"runtime"
@@ -18,6 +19,10 @@ import (
 	"bettertogether/internal/profiler"
 	"bettertogether/internal/soc"
 )
+
+// simEngine runs every experiment measurement: the paper's numbers all
+// come from the deterministic simulator.
+var simEngine pipeline.SimEngine
 
 // Paper-style display labels (Fig. 6 uses CIFAR-D/CIFAR-S/Tree).
 var appLabels = map[string]string{
@@ -210,7 +215,7 @@ func (s *Suite) Measure(app *core.Application, dev *soc.Device, sch core.Schedul
 	if err != nil {
 		return 0, fmt.Errorf("experiments: %s on %s: %w", app.Name, dev.Name, err)
 	}
-	r := pipeline.Simulate(plan, s.runOpts(purpose, app, dev, sch.Key()))
+	r := simEngine.Run(context.Background(), plan, s.runOpts(purpose, app, dev, sch.Key()))
 	return r.PerTask, nil
 }
 

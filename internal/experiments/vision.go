@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"bettertogether/internal/apps/vision"
@@ -53,7 +54,7 @@ func (s *Suite) ExtVision() (VisionResult, string, error) {
 			if err != nil {
 				return 0, err
 			}
-			return pipeline.Simulate(plan, opts).PerTask, nil
+			return simEngine.Run(context.Background(), plan, opts).PerTask, nil
 		}
 		cpu, err := measure(core.ClassBig)
 		if err != nil {

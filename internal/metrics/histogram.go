@@ -63,6 +63,30 @@ func (h *Histogram) Mean() time.Duration {
 // Max returns the largest observation.
 func (h *Histogram) Max() time.Duration { return time.Duration(h.maxNs.Load()) }
 
+// Merge folds other's observations into h bucket by bucket. Each side's
+// counters are read atomically, but the merge as a whole is not an
+// atomic snapshot: merge quiescent histograms (after the run that filled
+// other has finished), as the runtime layer does between session waves.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	h.count.Add(other.count.Load())
+	h.sumNs.Add(other.sumNs.Load())
+	for {
+		cur := h.maxNs.Load()
+		om := other.maxNs.Load()
+		if om <= cur || h.maxNs.CompareAndSwap(cur, om) {
+			break
+		}
+	}
+	for i := 0; i < numBuckets; i++ {
+		if n := other.buckets[i].Load(); n > 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+}
+
 // Quantile returns an upper bound for the q-quantile (0 < q <= 1) from
 // the bucket boundaries: the true value lies within a factor of two below
 // the returned duration. Returns 0 with no observations.

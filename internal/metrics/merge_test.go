@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(1 * time.Millisecond)
+	a.Observe(2 * time.Millisecond)
+	b.Observe(4 * time.Millisecond)
+	b.Observe(40 * time.Millisecond)
+	a.Merge(&b)
+	if a.Count() != 4 {
+		t.Errorf("count = %d, want 4", a.Count())
+	}
+	wantMean := (1 + 2 + 4 + 40) * time.Millisecond / 4
+	if a.Mean() != wantMean {
+		t.Errorf("mean = %v, want %v", a.Mean(), wantMean)
+	}
+	if a.Max() != 40*time.Millisecond {
+		t.Errorf("max = %v, want 40ms", a.Max())
+	}
+	// The quantile upper bound must now cover b's large observation.
+	if q := a.Quantile(1); q < 40*time.Millisecond {
+		t.Errorf("p100 = %v, want >= 40ms", q)
+	}
+	// Merging nil is a no-op.
+	a.Merge(nil)
+	if a.Count() != 4 {
+		t.Errorf("nil merge changed count: %d", a.Count())
+	}
+}
+
+// sample fills a collector as one quiescent run would.
+func sample(stageDisp uint64, service time.Duration, elapsed time.Duration) *Pipeline {
+	m := New(2, 1, 1)
+	m.Stage(0).Name, m.Stage(0).Chunk, m.Stage(0).PU = "s0", 0, "big"
+	m.Stage(1).Name, m.Stage(1).Chunk, m.Stage(1).PU = "s1", 1, "gpu"
+	m.Queue(0).Label, m.Queue(0).Cap = "chunk 0 → 1", 4
+	m.Pool(0).PU, m.Pool(0).Width = "big", 2
+	for i := uint64(0); i < stageDisp; i++ {
+		m.StageDone(0, service)
+		m.StageDone(1, service)
+		m.QueueWait(0, service/2)
+	}
+	m.QueueDepth(0, int(stageDisp))
+	m.Pool(0).AddBusy(time.Duration(stageDisp) * service)
+	m.SetElapsed(elapsed)
+	return m
+}
+
+func TestPipelineMergeCompatibleShapes(t *testing.T) {
+	a := sample(3, time.Millisecond, 10*time.Millisecond)
+	b := sample(5, 2*time.Millisecond, 20*time.Millisecond)
+	a.Merge(b)
+	if got := a.Stage(0).Dispatches(); got != 8 {
+		t.Errorf("stage dispatches = %d, want 8", got)
+	}
+	if got := a.Stage(0).Service().Count(); got != 8 {
+		t.Errorf("service observations = %d, want 8", got)
+	}
+	if got := a.Queue(0).Pops(); got != 8 {
+		t.Errorf("queue pops = %d, want 8", got)
+	}
+	if got := a.Queue(0).MaxDepth(); got != 5 {
+		t.Errorf("max depth = %d, want max(3,5)=5", got)
+	}
+	if got := a.Pool(0).BusyTime(); got != 13*time.Millisecond {
+		t.Errorf("pool busy = %v, want 13ms", got)
+	}
+	if got := a.Elapsed(); got != 30*time.Millisecond {
+		t.Errorf("elapsed = %v, want 30ms", got)
+	}
+	// Utilization over accumulated elapsed: 13ms busy / (30ms × 2 lanes).
+	if got := a.Pool(0).Utilization(a.Elapsed()); got < 0.21 || got > 0.22 {
+		t.Errorf("utilization = %v, want ~0.2167", got)
+	}
+}
+
+// TestPipelineMergeIncompatibleShapes: a re-plan can change the chunking
+// (queue edge count) and pool set between waves; those rows must not be
+// conflated, while stage rows (application-stable indexes) still merge.
+func TestPipelineMergeIncompatibleShapes(t *testing.T) {
+	a := sample(3, time.Millisecond, 10*time.Millisecond)
+	b := New(2, 2, 2)
+	b.Stage(0).Name = "s0"
+	b.Stage(1).Name = "s1"
+	b.StageDone(0, time.Millisecond)
+	b.Pool(0).PU, b.Pool(1).PU = "big", "little"
+	b.Queue(0).Label = "chunk 0 → 1"
+	b.QueueWait(0, time.Millisecond)
+	b.Pool(0).AddBusy(time.Millisecond)
+	a.Merge(b)
+	if got := a.Stage(0).Dispatches(); got != 4 {
+		t.Errorf("stage dispatches = %d, want 4 (stages merge by index)", got)
+	}
+	if got := a.Queue(0).Pops(); got != 3 {
+		t.Errorf("queue pops = %d, want 3 (mismatched edge counts skipped)", got)
+	}
+	if got := a.Pool(0).BusyTime(); got != 3*time.Millisecond {
+		t.Errorf("pool busy = %v, want 3ms (mismatched pool sets skipped)", got)
+	}
+	// Nil merge is a no-op.
+	a.Merge(nil)
+	if got := a.Stage(0).Dispatches(); got != 4 {
+		t.Errorf("nil merge changed dispatches: %d", got)
+	}
+}

@@ -209,6 +209,86 @@ func (m *Pipeline) QueueDepth(edge int, depth int) {
 
 var _ Recorder = (*Pipeline)(nil)
 
+// Merge folds another collector's rows into m — the runtime layer's
+// per-session aggregation across execution waves, whose plans (and thus
+// queue/pool shapes) may differ between waves:
+//
+//   - Stage rows merge by index up to the shorter collector — stage
+//     indexing is application-stable across any plan of the same app.
+//     Labels transfer onto unlabeled target rows; a stage re-planned
+//     onto a different chunk/PU keeps the label of its latest merge, so
+//     the table reflects the current placement.
+//   - Queue rows merge by index only when both collectors track the same
+//     number of edges (same chunking); otherwise they are skipped — edge
+//     i means a different link under a different chunking.
+//   - Pool rows merge only when both sides have the same pool count and
+//     identical PU labels in the same order.
+//   - Elapsed accumulates, so utilization stays busy-time over total
+//     tracked time.
+//
+// Merge quiescent collectors: each counter is read atomically but the
+// merge is not an atomic snapshot of other.
+func (m *Pipeline) Merge(other *Pipeline) {
+	if other == nil {
+		return
+	}
+	nStages := len(m.stages)
+	if len(other.stages) < nStages {
+		nStages = len(other.stages)
+	}
+	for i := 0; i < nStages; i++ {
+		dst, src := &m.stages[i], &other.stages[i]
+		if src.Name != "" {
+			dst.Name, dst.Chunk, dst.PU = src.Name, src.Chunk, src.PU
+		}
+		dst.dispatches.Add(src.dispatches.Load())
+		dst.service.Merge(&src.service)
+	}
+	if len(m.queues) == len(other.queues) {
+		for i := range m.queues {
+			dst, src := &m.queues[i], &other.queues[i]
+			if src.Label != "" {
+				dst.Label, dst.Cap = src.Label, src.Cap
+			}
+			dst.pushes.Add(src.pushes.Load())
+			dst.pops.Add(src.pops.Load())
+			for {
+				cur := dst.maxDepth.Load()
+				od := src.maxDepth.Load()
+				if od <= cur || dst.maxDepth.CompareAndSwap(cur, od) {
+					break
+				}
+			}
+			dst.wait.Merge(&src.wait)
+			dst.stall.Merge(&src.stall)
+		}
+	}
+	if poolsCompatible(m.pools, other.pools) {
+		for i := range m.pools {
+			dst, src := &m.pools[i], &other.pools[i]
+			if src.Width > dst.Width {
+				dst.Width = src.Width
+			}
+			dst.busyNs.Add(src.busyNs.Load())
+		}
+	}
+	m.elapsedNs.Add(other.elapsedNs.Load())
+}
+
+// poolsCompatible reports whether two pool-row sets describe the same
+// pools: equal length and matching PU labels in order.
+func poolsCompatible(a, b []PoolStats) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].PU != b[i].PU {
+			return false
+		}
+	}
+	return len(a) > 0
+}
+
 // Table renders the collector as a fixed-width text report: a per-stage
 // service table, a per-queue occupancy/backpressure table, and a per-pool
 // utilization table.

@@ -23,11 +23,17 @@ func poolOrder(p *Plan) []core.PUClass {
 	return order
 }
 
-// poolWidth returns the worker width the Real engine uses for a class.
-func poolWidth(p *Plan, class core.PUClass) int {
+// poolWidth returns the worker width an engine uses for a class under
+// the options: the cluster's core count for CPUs, the configured (or
+// default) lane width for the GPU. Defensive about unresolved options so
+// NewMetrics can label a collector before withDefaults ran.
+func (o Options) poolWidth(p *Plan, class core.PUClass) int {
 	pu := p.Device.PU(class)
 	if pu.Kind == core.KindGPU {
-		return gpuPoolWidth
+		if o.GPUPoolWidth > 0 {
+			return o.GPUPoolWidth
+		}
+		return DefaultGPUPoolWidth
 	}
 	return pu.Cores
 }
@@ -36,7 +42,16 @@ func poolWidth(p *Plan, class core.PUClass) int {
 // one stage row per application stage (annotated with its chunk and PU),
 // one queue row per ring edge (edge i leaves chunk i), and one pool row
 // per distinct PU class. Pass it as Options.Metrics to either engine.
+// Pool widths assume default options; NewMetricsFor labels for explicit
+// ones, and the engine driver re-labels widths from the resolved options
+// at run start either way.
 func NewMetrics(p *Plan) *metrics.Pipeline {
+	return NewMetricsFor(p, Options{})
+}
+
+// NewMetricsFor is NewMetrics with the options the collector will be run
+// under, so pool widths reflect Options.GPUPoolWidth.
+func NewMetricsFor(p *Plan, opts Options) *metrics.Pipeline {
 	nChunks := len(p.Chunks)
 	order := poolOrder(p)
 	m := metrics.New(len(p.App.Stages), nChunks, len(order))
@@ -57,7 +72,7 @@ func NewMetrics(p *Plan) *metrics.Pipeline {
 	for i, class := range order {
 		pool := m.Pool(i)
 		pool.PU = string(class)
-		pool.Width = poolWidth(p, class)
+		pool.Width = opts.poolWidth(p, class)
 	}
 	return m
 }

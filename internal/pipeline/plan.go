@@ -35,16 +35,46 @@ type Plan struct {
 
 // NewPlan validates and compiles a schedule.
 func NewPlan(app *core.Application, dev *soc.Device, s core.Schedule) (*Plan, error) {
-	if err := app.Validate(); err != nil {
+	p := &Plan{App: app, Device: dev, Schedule: s, Chunks: s.Chunks()}
+	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	if err := dev.Validate(); err != nil {
-		return nil, err
+	return p, nil
+}
+
+// Validate checks the plan's consistency: application, device, and
+// schedule validity plus chunk/schedule agreement. NewPlan output always
+// passes; the engine driver re-checks before every run so hand-built
+// plans fail with a typed error instead of a panic deep in an engine.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return fmt.Errorf("pipeline: nil plan")
 	}
-	if err := s.Validate(len(app.Stages), dev.Classes()); err != nil {
-		return nil, err
+	if p.App == nil {
+		return fmt.Errorf("pipeline: plan has no application")
 	}
-	return &Plan{App: app, Device: dev, Schedule: s, Chunks: s.Chunks()}, nil
+	if p.Device == nil {
+		return fmt.Errorf("pipeline: plan has no device")
+	}
+	if err := p.App.Validate(); err != nil {
+		return err
+	}
+	if err := p.Device.Validate(); err != nil {
+		return err
+	}
+	if err := p.Schedule.Validate(len(p.App.Stages), p.Device.Classes()); err != nil {
+		return err
+	}
+	want := p.Schedule.Chunks()
+	if len(p.Chunks) != len(want) {
+		return fmt.Errorf("pipeline: plan has %d chunks, schedule compiles to %d", len(p.Chunks), len(want))
+	}
+	for i, c := range want {
+		if p.Chunks[i] != c {
+			return fmt.Errorf("pipeline: plan chunk %d is %+v, schedule compiles to %+v", i, p.Chunks[i], c)
+		}
+	}
+	return nil
 }
 
 // Backend returns the kernel backend of chunk i.
@@ -80,7 +110,26 @@ type Options struct {
 	// 0 means a 30s default. On expiry Result.Err reports a
 	// *ShutdownTimeoutError instead of hanging the caller.
 	ShutdownTimeout time.Duration
+	// GPUPoolWidth is the worker width of the simulated-SIMT GPU
+	// executor: the Real engine sizes the GPU worker pool with it, and
+	// both engines account pool utilization against it. Real kernels are
+	// CPU-bound Go code here, so the width models "many lanes" without
+	// oversubscribing the host. <= 0 selects DefaultGPUPoolWidth.
+	GPUPoolWidth int
+	// BaseEnv is an external interference environment overlaid on every
+	// chunk's environment by the Sim engine: PU classes busy on behalf of
+	// *other* workloads sharing the device, as the runtime layer's
+	// resident sessions are. Loads on a class a chunk also uses combine
+	// with saturation (soc.Env.Add). Nil means the plan has the device to
+	// itself — the original single-app behaviour, bit-identical. The Real
+	// engine ignores it: wall-clock kernels experience actual host
+	// contention instead of modeled contention.
+	BaseEnv soc.Env
 }
+
+// DefaultGPUPoolWidth is the GPU worker-pool width used when
+// Options.GPUPoolWidth is unset.
+const DefaultGPUPoolWidth = 8
 
 // withDefaults fills derived option values for a plan.
 func (o Options) withDefaults(p *Plan) Options {
@@ -92,6 +141,9 @@ func (o Options) withDefaults(p *Plan) Options {
 	}
 	if o.Buffers <= 0 {
 		o.Buffers = len(p.Chunks) + 1
+	}
+	if o.GPUPoolWidth <= 0 {
+		o.GPUPoolWidth = DefaultGPUPoolWidth
 	}
 	return o
 }

@@ -13,12 +13,7 @@ import (
 	"bettertogether/internal/trace"
 )
 
-// gpuPoolWidth is the worker width of the simulated-SIMT GPU executor in
-// the real engine. Real kernels are CPU-bound Go code here, so the width
-// models "many lanes" without oversubscribing the host.
-const gpuPoolWidth = 8
-
-// defaultShutdownTimeout bounds how long ExecuteContext waits for
+// defaultShutdownTimeout bounds how long the Real engine waits for
 // dispatcher goroutines to join after the run completes or is canceled.
 const defaultShutdownTimeout = 30 * time.Second
 
@@ -26,8 +21,11 @@ const defaultShutdownTimeout = 30 * time.Second
 // dispatcher goroutine per chunk, SPSC queues between chunks, TaskObjects
 // recycled through the closing edge of the ring (paper Sec. 3.4). Wall
 // times are host times — useful for functional validation and relative
-// comparison, not for reproducing device numbers (that is Simulate's
-// job). Execute is ExecuteContext with a background context.
+// comparison, not for reproducing device numbers (that is the Sim
+// engine's job). Execute is ExecuteContext with a background context.
+//
+// Deprecated: use RealEngine{}.Run, which routes through the shared
+// engine driver. Execute delegates there and its output is unchanged.
 func Execute(p *Plan, opts Options) Result {
 	return ExecuteContext(context.Background(), p, opts)
 }
@@ -51,17 +49,28 @@ func Execute(p *Plan, opts Options) Result {
 // per-stage dispatch counts and service times, per-edge waits, stalls and
 // occupancy, and per-pool utilization; recording is lock-free and
 // allocation-free.
+//
+// Deprecated: use RealEngine{}.Run, which routes through the shared
+// engine driver. ExecuteContext delegates there and its output is
+// unchanged.
 func ExecuteContext(ctx context.Context, p *Plan, opts Options) Result {
-	opts = opts.withDefaults(p)
+	return RealEngine{}.Run(ctx, p, opts)
+}
+
+// realRun is the Real engine's executor: the dispatcher/queue machinery
+// over an already validated plan and resolved options. The lifecycle
+// contract is documented on ExecuteContext.
+func realRun(ctx context.Context, p *Plan, opts Options) runOutcome {
 	total := opts.Warmup + opts.Tasks
 	m := opts.Metrics
 	nChunks := len(p.Chunks)
 
-	// One worker pool per PU class used, sized like the cluster.
+	// One worker pool per PU class used, sized like the cluster (or the
+	// resolved Options.GPUPoolWidth for the GPU class).
 	order := poolOrder(p)
 	pools := make(map[core.PUClass]*workerPool, len(order))
 	for i, class := range order {
-		pool := newWorkerPool(poolWidth(p, class))
+		pool := newWorkerPool(opts.poolWidth(p, class))
 		if m != nil {
 			pool.stats = m.Pool(i)
 		}
@@ -69,11 +78,6 @@ func ExecuteContext(ctx context.Context, p *Plan, opts Options) Result {
 	}
 
 	ring := newTaskRing(nChunks, opts.Buffers)
-	if m != nil {
-		for e := 0; e < nChunks; e++ {
-			m.Queue(e).Cap = ring.Out(e).Cap()
-		}
-	}
 
 	// Multi-buffering: pre-allocate the in-flight TaskObjects and prime
 	// the first queue.
@@ -293,9 +297,7 @@ func ExecuteContext(ctx context.Context, p *Plan, opts Options) Result {
 	if !from.IsZero() {
 		startSec = from.Sub(start).Seconds()
 	}
-	r := finalize(comps, startSec, nil)
-	r.Err = err
-	return r
+	return runOutcome{completions: comps, measureStart: startSec, err: err}
 }
 
 // pushTimed pushes a task onto an edge, recording producer-side

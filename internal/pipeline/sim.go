@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"time"
@@ -62,24 +63,32 @@ func simSeconds(sec float64) time.Duration {
 	return time.Duration(sec * float64(time.Second))
 }
 
-// Simulate executes the plan on the discrete-event simulator. Stage
-// progress integrates over the *actual* interference environment: each
-// chunk's execution rate is re-evaluated from the SoC model every time
-// any other chunk starts or stops executing. Unbalanced schedules
-// therefore run partly isolated and partly contended — the exact effect
-// that makes isolated profiling tables mispredict (Sec. 5.3) and that the
-// gapness objective guards against.
+// Simulate executes the plan on the discrete-event simulator.
+//
+// Deprecated: use SimEngine{}.Run, which routes through the shared
+// engine driver. Simulate delegates there and its output is unchanged.
 func Simulate(p *Plan, opts Options) Result {
-	opts = opts.withDefaults(p)
+	return SimEngine{}.Run(context.Background(), p, opts)
+}
+
+// simRun is the Sim engine's executor: the discrete-event loop over an
+// already validated plan and resolved options. Stage progress integrates
+// over the *actual* interference environment: each chunk's execution
+// rate is re-evaluated from the SoC model every time any other chunk
+// starts or stops executing. Unbalanced schedules therefore run partly
+// isolated and partly contended — the exact effect that makes isolated
+// profiling tables mispredict (Sec. 5.3) and that the gapness objective
+// guards against. Options.BaseEnv additionally overlays resident
+// co-runners from outside the plan onto every chunk's environment.
+//
+// ctx is unused here: the driver checks it at entry, and a started
+// simulation always completes (virtual time is instant in wall time and
+// the event timeline must stay deterministic).
+func simRun(_ context.Context, p *Plan, opts Options) runOutcome {
 	rng := rand.New(rand.NewSource(opts.Seed))
 	eng := des.New()
 	m := opts.Metrics
 	nChunks := len(p.Chunks)
-	if m != nil {
-		for e := 0; e < nChunks; e++ {
-			m.Queue(e).Cap = opts.Buffers + 1
-		}
-	}
 
 	chunks := make([]*simChunk, len(p.Chunks))
 	for i, c := range p.Chunks {
@@ -97,9 +106,15 @@ func Simulate(p *Plan, opts Options) Result {
 
 	env := func(me int) soc.Env {
 		e := soc.Env{}
+		for class, load := range opts.BaseEnv {
+			e[class] = load
+		}
 		for _, c := range chunks {
 			if c.idx != me && c.busy {
-				e[c.pu] = c.load
+				// Contiguity gives each class at most one chunk, so with
+				// no BaseEnv this sets the entry exactly; with one, loads
+				// on a shared class combine with saturation.
+				e.Add(c.pu, c.load)
 			}
 		}
 		return e
@@ -269,7 +284,7 @@ func Simulate(p *Plan, opts Options) Result {
 		}
 		m.SetElapsed(simSeconds(makespan))
 	}
-	r := finalize(completions, measureStart, busy)
+	out := runOutcome{completions: completions, measureStart: measureStart, chunkBusy: busy}
 
 	// Energy: busy energy accumulated per chunk, plus idle power for
 	// every PU's remaining time, plus the uncore floor. PU classes not
@@ -287,9 +302,9 @@ func Simulate(p *Plan, opts Options) Result {
 				energy += p.Device.Power(class, 1, false) * idle
 			}
 		}
-		r.EnergyJ = energy
-		r.EnergyPerTaskJ = energy / float64(total)
-		r.AvgWatts = energy / makespan
+		out.energyJ = energy
+		out.energyPerTaskJ = energy / float64(total)
+		out.avgWatts = energy / makespan
 	}
-	return r
+	return out
 }

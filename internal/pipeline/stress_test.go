@@ -284,4 +284,3 @@ func TestStressInjectedPanics(t *testing.T) {
 	}
 	settleGoroutines(t, before, "panic-injection rounds")
 }
-

@@ -28,6 +28,15 @@ type Config struct {
 	// Seed drives the measurement-noise stream, keeping profiling
 	// deterministic per configuration.
 	Seed int64
+	// BaseEnv is an external interference environment overlaid on every
+	// measurement, isolated and heavy alike: PU classes busy on behalf
+	// of *other* workloads resident on the device. The runtime layer
+	// profiles applications this way when re-planning, so tables reflect
+	// who else is on the SoC. Nil reproduces the paper's single-app
+	// profiling exactly. Loads on the class being measured are kept —
+	// they model a co-runner contending for that class's bandwidth from
+	// the outside.
+	BaseEnv soc.Env
 }
 
 func (c Config) withDefaults() Config {
@@ -52,6 +61,9 @@ func Profile(app *core.Application, dev *soc.Device, mode core.ProfileMode, cfg 
 				// measuring PU (Sec. 3.2).
 				env = dev.HeavyEnv(stage.Cost, pu)
 			}
+			if len(cfg.BaseEnv) > 0 {
+				env = cfg.BaseEnv.Overlay(env)
+			}
 			for r := 0; r < cfg.Reps; r++ {
 				samples[r] = dev.Sample(stage.Cost, pu, env, rng)
 			}
@@ -71,7 +83,7 @@ type Tables struct {
 func ProfileBoth(app *core.Application, dev *soc.Device, cfg Config) Tables {
 	return Tables{
 		Isolated: Profile(app, dev, core.Isolated, cfg),
-		Heavy:    Profile(app, dev, core.InterferenceHeavy, Config{Reps: cfg.Reps, Seed: cfg.Seed + 1}),
+		Heavy:    Profile(app, dev, core.InterferenceHeavy, Config{Reps: cfg.Reps, Seed: cfg.Seed + 1, BaseEnv: cfg.BaseEnv}),
 	}
 }
 

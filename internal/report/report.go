@@ -180,6 +180,45 @@ func (h *Heatmap) Render() string {
 	return t.Render()
 }
 
+// SessionRow is one runtime session's line in a multi-app summary.
+type SessionRow struct {
+	// Name is the session's runtime identity (e.g. "octree#1"); App is
+	// the application name.
+	Name, App string
+	// Schedule renders the session's latest plan; Replans counts how
+	// often admission churn re-planned it.
+	Schedule string
+	Replans  int
+	// Tasks is the number of completed stream tasks.
+	Tasks int
+	// PerTask and Elapsed are in seconds; EnergyJ in joules (0 → "n/a").
+	PerTask, Elapsed, EnergyJ float64
+	// Err is the session's terminal error, if any.
+	Err string
+}
+
+// Sessions renders the per-session summary table of a multi-app runtime
+// run. Rows render in the order given (callers pass admission order),
+// so interleaved sessions produce deterministic output.
+func Sessions(title string, rows []SessionRow) string {
+	t := NewTable(title,
+		"session", "app", "tasks", "per-task (ms)", "elapsed (ms)", "energy/task (J)", "replans", "schedule", "status")
+	for _, r := range rows {
+		status := "ok"
+		if r.Err != "" {
+			status = r.Err
+		}
+		energy := "n/a"
+		if r.EnergyJ > 0 {
+			energy = fmt.Sprintf("%.4f", r.EnergyJ)
+		}
+		t.AddRow(r.Name, r.App, fmt.Sprintf("%d", r.Tasks),
+			Ms(r.PerTask), Ms(r.Elapsed), energy,
+			fmt.Sprintf("%d", r.Replans), r.Schedule, status)
+	}
+	return t.Render()
+}
+
 // Section wraps a report body with a header rule for multi-experiment
 // output streams.
 func Section(name, body string) string {

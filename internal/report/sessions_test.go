@@ -1,0 +1,39 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSessionsGolden pins the multi-session summary table rendering:
+// column set, ms/energy formatting, the n/a energy fallback, and error
+// rows surfacing in the status column. Any formatting change must update
+// this deliberately.
+func TestSessionsGolden(t *testing.T) {
+	rows := []SessionRow{
+		{Name: "octree#0", App: "octree", Schedule: "[big gpu]", Replans: 1,
+			Tasks: 30, PerTask: 0.004152, Elapsed: 0.12456, EnergyJ: 0.0857},
+		{Name: "alex#1", App: "alexnet", Schedule: "[gpu]", Replans: 0,
+			Tasks: 5, PerTask: 0.2, Elapsed: 1.0, Err: "context canceled"},
+	}
+	got := Sessions("runtime sessions on Test SoC", rows)
+	want := "runtime sessions on Test SoC\n" +
+		"session   app      tasks  per-task (ms)  elapsed (ms)  energy/task (J)  replans  schedule   status          \n" +
+		"--------  -------  -----  -------------  ------------  ---------------  -------  ---------  ----------------\n" +
+		"octree#0  octree   30     4.152          124.6         0.0857           1        [big gpu]  ok              \n" +
+		"alex#1    alexnet  5      200.0          1000.0        n/a              0        [gpu]      context canceled\n"
+	if got != want {
+		t.Errorf("Sessions drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestSessionsRowOrderPreserved(t *testing.T) {
+	rows := []SessionRow{
+		{Name: "b#1", App: "b"},
+		{Name: "a#0", App: "a"},
+	}
+	out := Sessions("t", rows)
+	if strings.Index(out, "b#1") > strings.Index(out, "a#0") {
+		t.Errorf("rows reordered:\n%s", out)
+	}
+}

@@ -1,0 +1,86 @@
+package runtime
+
+import (
+	"fmt"
+
+	"bettertogether/internal/core"
+	"bettertogether/internal/pipeline"
+	"bettertogether/internal/soc"
+)
+
+// Resource names used in AdmissionError.Resource.
+const (
+	// ResourceBandwidth is the shared DRAM memory-controller bandwidth.
+	ResourceBandwidth = "dram-bandwidth"
+	// ResourceCores is the device's total PU core count.
+	ResourceCores = "pu-cores"
+)
+
+// AdmissionError reports a rejected Admit: the newcomer's projected
+// steady-state demand, stacked on every resident session's, would push a
+// device resource past the runtime's configured headroom. Callers detect
+// it with errors.As and can retry after a resident exits.
+type AdmissionError struct {
+	// App is the rejected application's name.
+	App string
+	// Resource names what ran out (ResourceBandwidth, ResourceCores).
+	Resource string
+	// Demand is the projected total including the newcomer; Capacity is
+	// the headroom-scaled device limit it exceeded. Units are GB/s for
+	// bandwidth and cores for cores.
+	Demand, Capacity float64
+}
+
+// Error implements error.
+func (e *AdmissionError) Error() string {
+	return fmt.Sprintf("runtime: admission of %q rejected: projected %s demand %.2f exceeds capacity %.2f",
+		e.App, e.Resource, e.Demand, e.Capacity)
+}
+
+// demand is a plan's projected standing claim on shared device resources.
+type demand struct {
+	// bwGBs is projected DRAM draw; cores counts claimed PU cores.
+	bwGBs, cores float64
+}
+
+// plus sums two claims.
+func (d demand) plus(o demand) demand {
+	return demand{bwGBs: d.bwGBs + o.bwGBs, cores: d.cores + o.cores}
+}
+
+// chunkIntensity is the mean memory intensity of a chunk's stages on its
+// PU class — the load the chunk contributes to the interference
+// environment while executing.
+func chunkIntensity(p *pipeline.Plan, c core.Chunk) float64 {
+	if c.Len() == 0 {
+		return 0
+	}
+	sum := 0.0
+	for s := c.Start; s < c.End; s++ {
+		sum += p.Device.Intensity(p.App.Stages[s].Cost, c.PU)
+	}
+	return sum / float64(c.Len())
+}
+
+// planDemand projects a plan's steady-state resource claim. In a full
+// pipeline every chunk is busy simultaneously, so per-chunk draws sum:
+// each chunk claims its class's cores outright and a bandwidth share
+// equal to the class's peak draw scaled by the chunk's memory intensity.
+func planDemand(p *pipeline.Plan) demand {
+	var d demand
+	for _, c := range p.Chunks {
+		pu := p.Device.PU(c.PU)
+		d.bwGBs += pu.MemBWGBs * chunkIntensity(p, c)
+		d.cores += float64(pu.Cores)
+	}
+	return d
+}
+
+// addPlanEnv folds a plan's steady-state interference contribution into
+// env: one load per chunk on its PU class (contiguity means classes are
+// distinct within one plan; across plans Env.Add saturates).
+func addPlanEnv(env soc.Env, p *pipeline.Plan) {
+	for _, c := range p.Chunks {
+		env.Add(c.PU, soc.Load{MemIntensity: chunkIntensity(p, c)})
+	}
+}

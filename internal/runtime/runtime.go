@@ -1,0 +1,350 @@
+// Package runtime is the long-lived multi-application layer over the
+// pipeline engines: one Runtime is bound to one device and admits
+// streaming applications as concurrent Sessions.
+//
+// Where the rest of the framework plans and executes a single
+// application in isolation, the runtime models what the paper's Sec. 6
+// calls out as future work — several pipelines resident on one SoC:
+//
+//   - Admission control projects each applicant's steady-state DRAM
+//     bandwidth and PU-core demand from its plan, stacks it on every
+//     resident session's, and rejects with a typed *AdmissionError when
+//     a configured headroom would be exceeded.
+//   - Interference-aware re-planning: every admission and departure
+//     changes the device's interference environment, so the runtime
+//     re-runs the profiling/optimization pipeline for each resident
+//     session against the updated soc.Env (profiler Config.BaseEnv,
+//     pipeline Options.BaseEnv). Sessions pick up new plans between
+//     execution waves.
+//   - Per-session namespaced observability: each session owns its own
+//     metrics collector and trace timeline; Report merges them into one
+//     summary table and a session-qualified Gantt.
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"bettertogether/internal/core"
+	"bettertogether/internal/pipeline"
+	"bettertogether/internal/profiler"
+	"bettertogether/internal/report"
+	"bettertogether/internal/sched"
+	"bettertogether/internal/soc"
+	"bettertogether/internal/trace"
+)
+
+// ErrClosed reports an Admit against a closed runtime.
+var ErrClosed = errors.New("runtime: closed")
+
+// Config defaults.
+const (
+	// DefaultBWHeadroom and DefaultCoreHeadroom scale the device's DRAM
+	// bandwidth and core count into admission capacities. Values above 1
+	// deliberately tolerate oversubscription: pipelines rarely hold their
+	// peak draw on every chunk at once, and the interference model
+	// degrades co-runners gracefully rather than failing them.
+	DefaultBWHeadroom   = 2.0
+	DefaultCoreHeadroom = 2.0
+	// DefaultProfileReps is smaller than profiler.DefaultReps because the
+	// runtime re-profiles on every admission and departure.
+	DefaultProfileReps = 8
+	// DefaultAutotuneTasks bounds each candidate's autotuning simulation.
+	DefaultAutotuneTasks = 12
+	// DefaultReplanK is the candidate pool per (re-)planning pass —
+	// smaller than sched.DefaultK, again because re-planning is frequent.
+	DefaultReplanK = 8
+)
+
+// Config configures a Runtime.
+type Config struct {
+	// Device is the SoC every session shares. Required.
+	Device *soc.Device
+	// Engine executes session waves; nil selects pipeline.SimEngine.
+	Engine pipeline.Engine
+	// BWHeadroom and CoreHeadroom scale the admission capacities
+	// (<= 0 selects the defaults).
+	BWHeadroom   float64
+	CoreHeadroom float64
+	// ProfileReps, AutotuneTasks, and K bound each (re-)planning pass
+	// (<= 0 selects the defaults).
+	ProfileReps   int
+	AutotuneTasks int
+	K             int
+	// Seed drives profiling and autotuning noise streams.
+	Seed int64
+}
+
+// Runtime is a long-lived multi-application execution context bound to
+// one device. Construct with New; admit applications with Admit.
+type Runtime struct {
+	cfg Config
+	dev *soc.Device
+	eng pipeline.Engine
+
+	mu       sync.Mutex
+	nextID   int
+	resident map[int]*Session
+	history  []*Session
+	closed   bool
+}
+
+// New validates the configuration and builds an empty runtime.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.Device == nil {
+		return nil, fmt.Errorf("runtime: config has no device")
+	}
+	if err := cfg.Device.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Engine == nil {
+		cfg.Engine = pipeline.SimEngine{}
+	}
+	if cfg.BWHeadroom <= 0 {
+		cfg.BWHeadroom = DefaultBWHeadroom
+	}
+	if cfg.CoreHeadroom <= 0 {
+		cfg.CoreHeadroom = DefaultCoreHeadroom
+	}
+	if cfg.ProfileReps <= 0 {
+		cfg.ProfileReps = DefaultProfileReps
+	}
+	if cfg.AutotuneTasks <= 0 {
+		cfg.AutotuneTasks = DefaultAutotuneTasks
+	}
+	if cfg.K <= 0 {
+		cfg.K = DefaultReplanK
+	}
+	return &Runtime{cfg: cfg, dev: cfg.Device, eng: cfg.Engine, resident: map[int]*Session{}}, nil
+}
+
+// Device returns the shared device.
+func (rt *Runtime) Device() *soc.Device { return rt.dev }
+
+// Engine returns the execution engine sessions run on.
+func (rt *Runtime) Engine() pipeline.Engine { return rt.eng }
+
+// Admit plans the application against the current interference
+// environment, checks projected resource demand against the headroom
+// capacities, and — if accepted — starts a Session and re-plans every
+// resident session against the environment the newcomer creates.
+// Rejections return a *AdmissionError (resources) or ErrClosed.
+func (rt *Runtime) Admit(app *core.Application, opts AdmitOptions) (*Session, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.closed {
+		return nil, ErrClosed
+	}
+	if app == nil {
+		return nil, fmt.Errorf("runtime: admit nil application")
+	}
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults(app, rt.nextID)
+
+	env := rt.envLocked(nil)
+	plan, err := rt.planLocked(app, env, opts)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: planning %q: %w", app.Name, err)
+	}
+
+	total := planDemand(plan)
+	for _, id := range rt.residentIDs() {
+		total = total.plus(planDemand(rt.resident[id].currentPlan()))
+	}
+	if capBW := rt.cfg.BWHeadroom * rt.dev.DRAMBWGBs; total.bwGBs > capBW {
+		return nil, &AdmissionError{App: app.Name, Resource: ResourceBandwidth, Demand: total.bwGBs, Capacity: capBW}
+	}
+	if capCores := rt.cfg.CoreHeadroom * rt.deviceCores(); total.cores > capCores {
+		return nil, &AdmissionError{App: app.Name, Resource: ResourceCores, Demand: total.cores, Capacity: capCores}
+	}
+
+	s := newSession(rt, rt.nextID, app, opts, plan, env)
+	rt.nextID++
+	rt.resident[s.id] = s
+	rt.history = append(rt.history, s)
+	rt.replanLocked(s)
+	go s.run()
+	return s, nil
+}
+
+// deviceCores sums the device's PU core counts.
+func (rt *Runtime) deviceCores() float64 {
+	n := 0
+	for i := range rt.dev.PUs {
+		n += rt.dev.PUs[i].Cores
+	}
+	return float64(n)
+}
+
+// residentIDs returns resident session IDs in admission order — the
+// deterministic iteration order for demand, environment, and re-planning
+// passes.
+func (rt *Runtime) residentIDs() []int {
+	ids := make([]int, 0, len(rt.resident))
+	for id := range rt.resident {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// envLocked builds the interference environment seen by a session (or by
+// an applicant when except is nil): every other resident session's
+// steady-state contribution.
+func (rt *Runtime) envLocked(except *Session) soc.Env {
+	env := soc.Env{}
+	for _, id := range rt.residentIDs() {
+		s := rt.resident[id]
+		if s == except {
+			continue
+		}
+		addPlanEnv(env, s.currentPlan())
+	}
+	return env
+}
+
+// planLocked runs the interference-aware planning pipeline for one
+// application under the given external environment: profile both modes
+// with BaseEnv overlaid, optimize with the BetterTogether strategy, and
+// compile the winning schedule. A pinned schedule skips optimization.
+func (rt *Runtime) planLocked(app *core.Application, env soc.Env, opts AdmitOptions) (*pipeline.Plan, error) {
+	if opts.Schedule != nil {
+		return pipeline.NewPlan(app, rt.dev, *opts.Schedule)
+	}
+	tables := profiler.ProfileBoth(app, rt.dev, profiler.Config{
+		Reps:    rt.cfg.ProfileReps,
+		Seed:    rt.cfg.Seed + opts.Seed,
+		BaseEnv: env,
+	})
+	opt := sched.New(app, rt.dev, tables)
+	opt.K = rt.cfg.K
+	_, _, best, err := opt.Optimize(sched.BetterTogether, pipeline.Options{
+		Tasks:   rt.cfg.AutotuneTasks,
+		Warmup:  2,
+		Seed:    rt.cfg.Seed + opts.Seed,
+		BaseEnv: env,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pipeline.NewPlan(app, rt.dev, best.Schedule)
+}
+
+// replanLocked re-plans every resident session other than except against
+// the updated environment — the interference-aware reaction to admission
+// churn. Pinned sessions only get the environment update; a session
+// whose re-planning fails keeps its old plan (the old schedule is still
+// valid, only the environment shifted).
+func (rt *Runtime) replanLocked(except *Session) {
+	for _, id := range rt.residentIDs() {
+		s := rt.resident[id]
+		if s == except {
+			continue
+		}
+		env := rt.envLocked(s)
+		if s.opts.Schedule != nil {
+			s.setEnv(env)
+			continue
+		}
+		plan, err := rt.planLocked(s.app, env, s.opts)
+		if err != nil {
+			s.setEnv(env)
+			continue
+		}
+		s.setPlan(plan, env)
+	}
+}
+
+// exit removes a finished session from residency and re-plans the
+// survivors. Called from the session goroutine before its done channel
+// closes.
+func (rt *Runtime) exit(s *Session) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if _, ok := rt.resident[s.id]; !ok {
+		return
+	}
+	delete(rt.resident, s.id)
+	if !rt.closed {
+		rt.replanLocked(nil)
+	}
+}
+
+// Sessions returns every session ever admitted, in admission order.
+func (rt *Runtime) Sessions() []*Session {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return append([]*Session(nil), rt.history...)
+}
+
+// Wait blocks until every session admitted so far has finished.
+func (rt *Runtime) Wait() {
+	for _, s := range rt.Sessions() {
+		<-s.Done()
+	}
+}
+
+// Close rejects further admissions, stops every resident session, and
+// waits for them to unwind.
+func (rt *Runtime) Close() {
+	rt.mu.Lock()
+	rt.closed = true
+	residents := make([]*Session, 0, len(rt.resident))
+	for _, id := range rt.residentIDs() {
+		residents = append(residents, rt.resident[id])
+	}
+	rt.mu.Unlock()
+	for _, s := range residents {
+		s.cancel()
+	}
+	for _, s := range residents {
+		<-s.Done()
+	}
+}
+
+// Report renders the per-session summary table and, when sessions
+// collected traces, the merged session-qualified Gantt. Sessions render
+// in admission order, so the report is deterministic for a deterministic
+// admission sequence.
+func (rt *Runtime) Report(ganttWidth int) string {
+	sessions := rt.Sessions()
+	rows := make([]report.SessionRow, len(sessions))
+	var parts []trace.SessionTrace
+	for i, s := range sessions {
+		res := s.Snapshot()
+		rows[i] = report.SessionRow{
+			Name:     res.Name,
+			App:      res.App,
+			Schedule: res.Schedule.String(),
+			Replans:  res.Replans,
+			Tasks:    res.Tasks,
+			PerTask:  res.PerTask,
+			Elapsed:  res.Elapsed,
+			EnergyJ:  res.EnergyPerTaskJ,
+			Err:      errString(res.Err),
+		}
+		if tl := s.Timeline(); tl != nil && len(tl.Spans) > 0 {
+			parts = append(parts, trace.SessionTrace{Name: res.Name, Timeline: tl})
+		}
+	}
+	var b strings.Builder
+	b.WriteString(report.Sessions(fmt.Sprintf("runtime sessions on %s", rt.dev.Label), rows))
+	if len(parts) > 0 {
+		b.WriteByte('\n')
+		b.WriteString(trace.MergeSessions(parts...).Gantt(ganttWidth))
+	}
+	return b.String()
+}
+
+// errString renders an error for a report cell.
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}

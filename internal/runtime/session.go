@@ -1,0 +1,362 @@
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"bettertogether/internal/core"
+	"bettertogether/internal/metrics"
+	"bettertogether/internal/pipeline"
+	"bettertogether/internal/soc"
+	"bettertogether/internal/trace"
+)
+
+// Session option defaults.
+const (
+	// DefaultSessionTasks matches the paper's 30-task runs.
+	DefaultSessionTasks = 30
+	// DefaultWaveTasks is the re-planning granularity: a session executes
+	// this many tasks per wave and re-reads its plan between waves, so a
+	// re-plan triggered by admission churn takes effect within one wave.
+	DefaultWaveTasks = 8
+)
+
+// AdmitOptions configure one admitted session.
+type AdmitOptions struct {
+	// Name identifies the session in reports and metrics namespaces;
+	// empty derives "<app>#<id>".
+	Name string
+	// Tasks is the total number of stream tasks the session processes
+	// (<= 0 selects DefaultSessionTasks).
+	Tasks int
+	// Warmup tasks are prepended to the first wave and excluded from
+	// the session's measured aggregates.
+	Warmup int
+	// WaveTasks is the number of tasks per execution wave (<= 0 selects
+	// DefaultWaveTasks). Smaller waves react to re-plans faster; larger
+	// waves amortize pipeline fill better.
+	WaveTasks int
+	// Seed drives the session's simulation-noise stream.
+	Seed int64
+	// Schedule pins the session to a fixed schedule: admission skips the
+	// profiling/optimization pipeline and the session is never re-planned
+	// (its environment still updates). Nil lets the runtime plan and
+	// re-plan interference-aware.
+	Schedule *core.Schedule
+	// GPUPoolWidth forwards to pipeline.Options.GPUPoolWidth.
+	GPUPoolWidth int
+	// CollectMetrics aggregates a per-session metrics.Pipeline across
+	// waves; CollectTrace accumulates a session-local trace.Timeline.
+	CollectMetrics bool
+	CollectTrace   bool
+}
+
+// withDefaults resolves the options for an admitted session.
+func (o AdmitOptions) withDefaults(app *core.Application, id int) AdmitOptions {
+	if o.Name == "" {
+		o.Name = fmt.Sprintf("%s#%d", app.Name, id)
+	}
+	if o.Tasks <= 0 {
+		o.Tasks = DefaultSessionTasks
+	}
+	if o.Warmup < 0 {
+		o.Warmup = 0
+	}
+	if o.WaveTasks <= 0 {
+		o.WaveTasks = DefaultWaveTasks
+	}
+	if o.Schedule != nil {
+		// Deep-copy the pin so callers cannot mutate it after admission.
+		sc := core.Schedule{Assign: append([]core.PUClass(nil), o.Schedule.Assign...)}
+		o.Schedule = &sc
+	}
+	return o
+}
+
+// Session is one admitted application's execution on a Runtime. It runs
+// on its own goroutine in waves of WaveTasks, snapshotting its (plan,
+// environment) pair before each wave, so re-plans from admission churn
+// land between waves without interrupting in-flight tasks.
+type Session struct {
+	id   int
+	rt   *Runtime
+	app  *core.Application
+	opts AdmitOptions
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu        sync.Mutex
+	plan      *pipeline.Plan
+	env       soc.Env
+	replans   int
+	schedules []core.Schedule
+
+	// Aggregates across waves. perTaskW is Σ perTask×tasks so PerTask is
+	// the completion-weighted mean; processed includes warmup (which also
+	// burned energy); offset is the session-local clock the next wave's
+	// trace spans shift by.
+	tasks     int
+	processed int
+	perTaskW  float64
+	elapsed   float64
+	energyJ   float64
+	offset    float64
+	met       *metrics.Pipeline
+	tl        *trace.Timeline
+	err       error
+}
+
+// newSession builds a session around its initial plan; run() is started
+// by Admit after registration.
+func newSession(rt *Runtime, id int, app *core.Application, opts AdmitOptions, plan *pipeline.Plan, env soc.Env) *Session {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Session{
+		id: id, rt: rt, app: app, opts: opts,
+		ctx: ctx, cancel: cancel, done: make(chan struct{}),
+		plan: plan, env: env,
+		schedules: []core.Schedule{plan.Schedule},
+	}
+}
+
+// run is the session goroutine: waves of WaveTasks until the task budget
+// is spent, the session is stopped, or a wave fails. Departure
+// re-planning (rt.exit) runs before done closes, so by the time Wait
+// returns the remaining residents have already been re-planned.
+func (s *Session) run() {
+	defer close(s.done)
+	defer s.rt.exit(s)
+	remaining := s.opts.Tasks
+	for wave := 0; remaining > 0; wave++ {
+		if err := s.ctx.Err(); err != nil {
+			s.fail(err)
+			return
+		}
+		plan, env := s.planSnapshot()
+		n := s.opts.WaveTasks
+		if n > remaining {
+			n = remaining
+		}
+		warm := 0
+		if wave == 0 {
+			warm = s.opts.Warmup
+		}
+		o := pipeline.Options{
+			Tasks:        n,
+			Warmup:       warm,
+			Seed:         s.opts.Seed + int64(wave)*1009,
+			BaseEnv:      env,
+			GPUPoolWidth: s.opts.GPUPoolWidth,
+		}
+		if s.opts.CollectMetrics {
+			o.Metrics = pipeline.NewMetricsFor(plan, o)
+		}
+		if s.opts.CollectTrace {
+			o.Trace = &trace.Timeline{}
+		}
+		r := s.rt.eng.Run(s.ctx, plan, o)
+		s.absorb(r, o.Metrics, o.Trace, warm)
+		if r.Err != nil {
+			s.fail(r.Err)
+			return
+		}
+		remaining -= n
+	}
+}
+
+// absorb folds one wave's result into the session aggregates. The wave
+// has finished, so its collector and timeline are quiescent — safe to
+// merge.
+func (s *Session) absorb(r pipeline.Result, m *metrics.Pipeline, tl *trace.Timeline, warm int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(r.Completions)
+	s.tasks += n
+	s.processed += n + warm
+	s.perTaskW += r.PerTask * float64(n)
+	s.elapsed += r.Elapsed
+	s.energyJ += r.EnergyJ
+	if m != nil {
+		if s.met == nil {
+			s.met = m
+		} else {
+			s.met.Merge(m)
+		}
+	}
+	var horizon float64
+	if tl != nil {
+		horizon = tl.Horizon()
+		if s.tl == nil {
+			s.tl = &trace.Timeline{}
+		}
+		for _, sp := range tl.Spans {
+			sp.Start += s.offset
+			sp.End += s.offset
+			s.tl.Add(sp)
+		}
+	} else if n > 0 {
+		horizon = r.Completions[n-1]
+	}
+	s.offset += horizon
+}
+
+// planSnapshot returns the (plan, env) pair the next wave runs under.
+func (s *Session) planSnapshot() (*pipeline.Plan, soc.Env) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.plan, s.env
+}
+
+// currentPlan returns the session's live plan (the runtime's demand and
+// environment accounting reads it).
+func (s *Session) currentPlan() *pipeline.Plan {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.plan
+}
+
+// setPlan installs a re-planned schedule and environment; a genuinely
+// different schedule counts as a re-plan.
+func (s *Session) setPlan(p *pipeline.Plan, env soc.Env) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !p.Schedule.Equal(s.plan.Schedule) {
+		s.replans++
+		s.schedules = append(s.schedules, p.Schedule)
+	}
+	s.plan = p
+	s.env = env
+}
+
+// setEnv updates only the environment (pinned-schedule sessions, or
+// re-planning that failed and kept the old schedule).
+func (s *Session) setEnv(env soc.Env) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.env = env
+}
+
+// fail records the session's terminal error (first one wins).
+func (s *Session) fail(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// Name returns the session's runtime identity.
+func (s *Session) Name() string { return s.opts.Name }
+
+// App returns the session's application.
+func (s *Session) App() *core.Application { return s.app }
+
+// Done returns a channel closed when the session has finished.
+func (s *Session) Done() <-chan struct{} { return s.done }
+
+// Stop cancels the session and waits for it to unwind. Idempotent; safe
+// concurrently with Wait.
+func (s *Session) Stop() {
+	s.cancel()
+	<-s.done
+}
+
+// Wait blocks until the session finishes and returns its result.
+func (s *Session) Wait() SessionResult {
+	<-s.done
+	return s.Snapshot()
+}
+
+// Err returns the session's terminal error, if any.
+func (s *Session) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Schedule returns the session's latest schedule.
+func (s *Session) Schedule() core.Schedule {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.plan.Schedule
+}
+
+// Replans returns how often admission churn changed the session's
+// schedule.
+func (s *Session) Replans() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.replans
+}
+
+// Schedules returns the session's schedule history in order: the initial
+// plan followed by one entry per re-plan that changed the assignment.
+func (s *Session) Schedules() []core.Schedule {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]core.Schedule(nil), s.schedules...)
+}
+
+// Metrics returns the session's aggregated collector (nil unless
+// CollectMetrics). Each session owns its collector — rows are never
+// shared across sessions — and it is quiescent once the session is done.
+func (s *Session) Metrics() *metrics.Pipeline {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.met
+}
+
+// Timeline returns a copy of the session's accumulated trace on its
+// session-local clock (nil unless CollectTrace produced spans).
+func (s *Session) Timeline() *trace.Timeline {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tl == nil {
+		return nil
+	}
+	return &trace.Timeline{Spans: append([]trace.Span(nil), s.tl.Spans...)}
+}
+
+// SessionResult is a session's aggregate over every completed wave.
+type SessionResult struct {
+	// Name and App identify the session.
+	Name, App string
+	// Tasks counts measured completions; PerTask is the completion-
+	// weighted mean per-task latency in seconds; Elapsed sums the waves'
+	// measured windows.
+	Tasks   int
+	PerTask float64
+	Elapsed float64
+	// EnergyJ is total energy; EnergyPerTaskJ divides by every processed
+	// task including warmup (Sim engine only; zero under Real).
+	EnergyJ        float64
+	EnergyPerTaskJ float64
+	// Replans counts schedule changes; Schedule is the latest one.
+	Replans  int
+	Schedule core.Schedule
+	// Err is the session's terminal error, if it did not finish cleanly.
+	Err error
+}
+
+// Snapshot returns the session's aggregates so far; after Done it is the
+// final result.
+func (s *Session) Snapshot() SessionResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res := SessionResult{
+		Name: s.opts.Name, App: s.app.Name,
+		Tasks: s.tasks, Elapsed: s.elapsed,
+		EnergyJ: s.energyJ,
+		Replans: s.replans, Schedule: s.plan.Schedule,
+		Err: s.err,
+	}
+	if s.tasks > 0 {
+		res.PerTask = s.perTaskW / float64(s.tasks)
+	}
+	if s.processed > 0 {
+		res.EnergyPerTaskJ = s.energyJ / float64(s.processed)
+	}
+	return res
+}

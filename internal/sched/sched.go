@@ -20,6 +20,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -30,6 +31,10 @@ import (
 	"bettertogether/internal/soc"
 	"bettertogether/internal/solver"
 )
+
+// simEngine is the measurement engine of the autotuning level: candidate
+// schedules are always evaluated on the deterministic simulator.
+var simEngine pipeline.SimEngine
 
 // Strategy selects the optimization recipe.
 type Strategy int
@@ -286,7 +291,7 @@ func (o *Optimizer) Autotune(cands []Candidate, opts pipeline.Options) (Autotune
 		plans[i] = plan
 	}
 	measure := func(i int) {
-		r := pipeline.Simulate(plans[i], opts)
+		r := simEngine.Run(context.Background(), plans[i], opts)
 		res.Measured[i] = r.PerTask
 		res.Energy[i] = r.EnergyPerTaskJ
 	}
@@ -343,5 +348,5 @@ func MeasureUniform(app *core.Application, dev *soc.Device, pu core.PUClass, opt
 	if err != nil {
 		return 0, err
 	}
-	return pipeline.Simulate(plan, opts).PerTask, nil
+	return simEngine.Run(context.Background(), plan, opts).PerTask, nil
 }

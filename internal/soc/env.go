@@ -1,0 +1,35 @@
+package soc
+
+import "bettertogether/internal/core"
+
+// Clone returns an independent copy of the environment. A nil receiver
+// clones to an empty, non-nil Env, so callers can overlay onto it.
+func (e Env) Clone() Env {
+	out := make(Env, len(e))
+	for c, l := range e {
+		out[c] = l
+	}
+	return out
+}
+
+// Add folds another load into the class's entry. Memory intensities sum
+// and saturate at 1: two co-runners on (or behind) the same class cannot
+// draw more than the class's full bandwidth, but together they pin it.
+func (e Env) Add(class core.PUClass, l Load) {
+	cur := e[class]
+	cur.MemIntensity += l.MemIntensity
+	if cur.MemIntensity > 1 {
+		cur.MemIntensity = 1
+	}
+	e[class] = cur
+}
+
+// Overlay returns a new Env combining e with other via Add. Either side
+// may be nil; the receiver is never mutated.
+func (e Env) Overlay(other Env) Env {
+	out := e.Clone()
+	for _, c := range other.BusyClasses() {
+		out.Add(c, other[c])
+	}
+	return out
+}

@@ -36,6 +36,11 @@ func (s Span) Duration() float64 { return s.End - s.Start }
 // Timeline accumulates spans for one execution run.
 type Timeline struct {
 	Spans []Span
+	// Labels optionally overrides the Gantt's row labels: row r uses
+	// Labels[r] when set. Engines leave it nil (rows label themselves
+	// "chunk N (pu)"); MergeSessions fills it with session-qualified
+	// names.
+	Labels []string
 }
 
 // Add appends a span.
@@ -127,10 +132,15 @@ func (t *Timeline) Gantt(width int) string {
 			grid[s.Chunk][c][s.StageIndex] += hi - lo
 		}
 	}
-	// Row labels: chunk index + PU class.
+	// Row labels: chunk index + PU class, unless overridden.
 	labels := make([]string, n)
 	for _, s := range t.Spans {
 		labels[s.Chunk] = fmt.Sprintf("chunk %d (%s)", s.Chunk, s.PU)
+	}
+	for r := 0; r < n && r < len(t.Labels); r++ {
+		if t.Labels[r] != "" {
+			labels[r] = t.Labels[r]
+		}
 	}
 	labelW := 0
 	for _, l := range labels {

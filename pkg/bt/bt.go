@@ -221,6 +221,21 @@ func ExecuteContext(ctx context.Context, p *Plan, opts RunOptions) RunResult {
 	return pipeline.ExecuteContext(ctx, p, opts)
 }
 
+// Engine abstraction: both execution paths behind one interface.
+type (
+	// Engine is the uniform execution surface over the Sim and Real
+	// paths; SimEngine and RealEngine implement it. Simulate, Execute,
+	// and ExecuteContext remain as convenience wrappers over it.
+	Engine = pipeline.Engine
+	// SimEngine executes plans on the discrete-event device model.
+	SimEngine = pipeline.SimEngine
+	// RealEngine executes plans with the application's actual kernels.
+	RealEngine = pipeline.RealEngine
+)
+
+// EngineByName resolves an engine from its CLI name ("sim", "real").
+func EngineByName(name string) (Engine, error) { return pipeline.ByName(name) }
+
 // NewMetrics builds a metrics collector sized and labeled for the plan;
 // pass it as RunOptions.Metrics to either engine and render it with its
 // Table method after the run.
