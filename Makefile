@@ -19,13 +19,13 @@ build:
 test:
 	$(GO) test ./...
 
-# The engine, queue, and metrics packages contain the concurrency
+# The engine, queue, metrics, and obs packages contain the concurrency
 # stress + property tests; run them with the race detector and without
 # result caching. The experiments and sched packages cover the parallel
 # experiment grids, the autotune worker pool, and the profiling cache's
 # singleflight.
 race:
-	$(GO) test -race -count=1 ./internal/pipeline/... ./internal/queue/... ./internal/metrics/... ./internal/runtime/...
+	$(GO) test -race -count=1 ./internal/pipeline/... ./internal/queue/... ./internal/metrics/... ./internal/runtime/... ./internal/obs/...
 	$(GO) test -race -count=1 -run 'Parallel|Concurrent|ForEach' ./internal/experiments/... ./internal/sched/...
 
 bench:

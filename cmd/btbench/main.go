@@ -19,6 +19,7 @@ import (
 
 	"bettertogether/internal/cli"
 	"bettertogether/internal/experiments"
+	"bettertogether/internal/obs"
 	"bettertogether/internal/report"
 )
 
@@ -26,11 +27,31 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (e0, table1, table2, fig1, table3, fig4, fig5, fig6, table4, fig7, abl-dp, abl-k, abl-buffers, abl-reps, ext-energy, all)")
 	parallel := flag.Bool("parallel", false, "fan experiment grids across GOMAXPROCS-bounded workers (deterministic: output matches the serial run)")
 	timing := flag.Bool("time", false, "report per-experiment and total wall-clock to stderr")
+	listen := flag.String("listen", "", "serve liveness, pprof and per-experiment progress events over HTTP while the suite runs")
 	flag.Parse()
 
 	s := experiments.NewSuite()
 	if *parallel {
 		s.Workers = -1 // GOMAXPROCS-bounded
+	}
+	// With -listen, long suite runs become observable: /healthz answers
+	// while experiments grind, /debug/pprof profiles them, and /events
+	// carries one run-start/run-end marker pair per experiment.
+	var stream *obs.Stream
+	if *listen != "" {
+		stream = obs.NewStream(obs.DefaultStreamCapacity)
+		srv, err := obs.Serve(*listen, obs.ServerConfig{Stream: stream})
+		cli.FatalIf("btbench", err)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "btbench: observability server on http://%s/\n", srv.Addr())
+	}
+	mark := func(kind obs.Kind, id string, d time.Duration) {
+		if stream == nil {
+			return
+		}
+		e := obs.NewEvent(kind)
+		e.Session, e.Detail, e.Dur = "btbench", id, d
+		stream.Emit(e)
 	}
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
@@ -39,9 +60,11 @@ func main() {
 	start := time.Now()
 	for _, id := range ids {
 		t0 := time.Now()
+		mark(obs.KindRunStart, strings.TrimSpace(id), 0)
 		if err := run(s, strings.TrimSpace(id)); err != nil {
 			cli.Fatalf("btbench", "%s: %v", id, err)
 		}
+		mark(obs.KindRunEnd, strings.TrimSpace(id), time.Since(t0))
 		if *timing {
 			fmt.Fprintf(os.Stderr, "btbench: %-12s %8.1f ms\n", id, time.Since(t0).Seconds()*1e3)
 		}

@@ -26,11 +26,14 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"bettertogether/internal/cli"
+	"bettertogether/internal/obs"
 	"bettertogether/internal/report"
 	btruntime "bettertogether/internal/runtime"
+	"bettertogether/internal/trace"
 	"bettertogether/pkg/bt"
 	"bettertogether/pkg/btapps"
 )
@@ -83,6 +86,9 @@ func main() {
 	traceFlag := flag.Bool("trace", false, "alias for -gantt: trace stage spans and render the Gantt")
 	metricsFlag := flag.Bool("metrics", false, "print the per-stage/queue/pool runtime metrics tables")
 	timeout := flag.Duration("timeout", 0, "cancel a real-engine run after this duration (0 = no limit)")
+	listen := flag.String("listen", "", "serve observability HTTP on this address (/metrics, /sessions, /trace, /events, /healthz, /debug/pprof)")
+	hold := flag.Duration("hold", 0, "with -listen: keep the server up this long after the run finishes (for scrapers and CI probes)")
+	chromeTrace := flag.String("chrome-trace", "", "write the run's timeline as Chrome trace_event JSON to this file (implies tracing; open in Perfetto)")
 	flag.Parse()
 
 	if len(apps) == 0 {
@@ -95,17 +101,51 @@ func main() {
 
 	if len(apps) > 1 {
 		runMulti(apps, delays, dev, eng, *schedule, *tasks, *warmup, *seed,
-			*gantt || *traceFlag, *metricsFlag)
+			*gantt || *traceFlag, *metricsFlag, *listen, *hold, *chromeTrace)
 		return
 	}
 	runSingle(apps[0], dev, eng, *schedule, *engine, *tasks, *warmup, *seed,
-		*gantt || *traceFlag, *metricsFlag, *timeout)
+		*gantt || *traceFlag, *metricsFlag, *timeout, *listen, *hold, *chromeTrace)
+}
+
+// serveObs mounts the introspection server, fatal on a bad address.
+func serveObs(addr string, cfg obs.ServerConfig) *obs.Server {
+	srv, err := obs.Serve(addr, cfg)
+	cli.FatalIf("btrun", err)
+	fmt.Fprintf(os.Stderr, "btrun: observability server on http://%s/\n", srv.Addr())
+	return srv
+}
+
+// holdAndClose keeps a mounted server alive for the -hold window, then
+// shuts it down.
+func holdAndClose(srv *obs.Server, hold time.Duration) {
+	if srv == nil {
+		return
+	}
+	if hold > 0 {
+		fmt.Fprintf(os.Stderr, "btrun: holding observability server for %s\n", hold)
+		time.Sleep(hold)
+	}
+	srv.Close()
+}
+
+// writeChromeTrace exports a timeline as trace_event JSON.
+func writeChromeTrace(path string, tl *trace.Timeline) {
+	f, err := os.Create(path)
+	cli.FatalIf("btrun", err)
+	err = obs.ChromeTrace(f, tl)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	cli.FatalIf("btrun", err)
+	fmt.Fprintf(os.Stderr, "btrun: wrote Chrome trace to %s (load in Perfetto / chrome://tracing)\n", path)
 }
 
 // runSingle is the classic one-application path: compile one plan and
 // drive it through the selected engine once.
 func runSingle(appName string, dev *bt.Device, eng bt.Engine, schedule, engineName string,
-	tasks, warmup int, seed int64, wantTrace, wantMetrics bool, timeout time.Duration) {
+	tasks, warmup int, seed int64, wantTrace, wantMetrics bool, timeout time.Duration,
+	listen string, hold time.Duration, chromeTrace string) {
 	app, err := btapps.ByName(appName)
 	cli.FatalIf("btrun", err)
 
@@ -115,15 +155,38 @@ func runSingle(appName string, dev *bt.Device, eng bt.Engine, schedule, engineNa
 	plan, err := bt.NewPlan(app, dev, sch)
 	cli.FatalIf("btrun", err)
 	opts := bt.RunOptions{Tasks: tasks, Warmup: warmup, Seed: seed}
+	// The exporters need their collectors even when the tables and Gantt
+	// are not printed: -listen serves the live collector and timeline,
+	// -chrome-trace needs the spans.
 	var tl *bt.Timeline
-	if wantTrace {
+	if wantTrace || listen != "" || chromeTrace != "" {
 		tl = &bt.Timeline{}
 		opts.Trace = tl
 	}
 	var m *bt.Metrics
-	if wantMetrics {
+	if wantMetrics || listen != "" {
 		m = bt.NewMetrics(plan)
 		opts.Metrics = m
+	}
+	// The timeline fills at run finalize, so publish it to the server only
+	// once the run is done; until then /trace serves an empty document.
+	var (
+		tlMu   sync.Mutex
+		tlDone *trace.Timeline
+	)
+	var srv *obs.Server
+	if listen != "" {
+		stream := obs.NewStream(obs.DefaultStreamCapacity)
+		opts.Events = stream
+		srv = serveObs(listen, obs.ServerConfig{
+			Stream:  stream,
+			Sources: func() []obs.PromSource { return []obs.PromSource{{Metrics: m}} },
+			Timeline: func() *trace.Timeline {
+				tlMu.Lock()
+				defer tlMu.Unlock()
+				return tlDone
+			},
+		})
 	}
 
 	ctx := context.Background()
@@ -133,6 +196,9 @@ func runSingle(appName string, dev *bt.Device, eng bt.Engine, schedule, engineNa
 		defer cancel()
 	}
 	r := eng.Run(ctx, plan, opts)
+	tlMu.Lock()
+	tlDone = tl
+	tlMu.Unlock()
 	if r.Err != nil {
 		fmt.Fprintln(os.Stderr, "btrun: run ended with error:", r.Err)
 	}
@@ -151,14 +217,18 @@ func runSingle(appName string, dev *bt.Device, eng bt.Engine, schedule, engineNa
 		}
 		fmt.Println()
 	}
-	if m != nil {
+	if m != nil && wantMetrics {
 		fmt.Println()
 		fmt.Print(m.Table())
 	}
-	if tl != nil {
+	if tl != nil && wantTrace {
 		fmt.Println()
 		fmt.Print(tl.Gantt(100))
 	}
+	if chromeTrace != "" {
+		writeChromeTrace(chromeTrace, tl)
+	}
+	holdAndClose(srv, hold)
 	// Partial stats above are still useful diagnostics, but an errored
 	// run must not exit 0.
 	if r.Err != nil {
@@ -171,13 +241,29 @@ func runSingle(appName string, dev *bt.Device, eng bt.Engine, schedule, engineNa
 // Gantt. The runtime plans each session itself, so an explicit -schedule
 // is rejected.
 func runMulti(apps []string, delays []time.Duration, dev *bt.Device, eng bt.Engine,
-	schedule string, tasks, warmup int, seed int64, wantTrace, wantMetrics bool) {
+	schedule string, tasks, warmup int, seed int64, wantTrace, wantMetrics bool,
+	listen string, hold time.Duration, chromeTrace string) {
 	if schedule != "auto" {
 		cli.Fatalf("btrun", "multi-app mode plans each session itself; drop -schedule (got %q)", schedule)
 	}
-	rt, err := btruntime.New(btruntime.Config{Device: dev, Engine: eng, Seed: seed})
+	cfg := btruntime.Config{Device: dev, Engine: eng, Seed: seed}
+	var stream *obs.Stream
+	if listen != "" {
+		stream = obs.NewStream(obs.DefaultStreamCapacity)
+		cfg.Events = stream
+	}
+	rt, err := btruntime.New(cfg)
 	cli.FatalIf("btrun", err)
 	defer rt.Close()
+
+	// The server reads per-session metrics and traces, so -listen and
+	// -chrome-trace force collection even when the tables stay unprinted.
+	collectMetrics := wantMetrics || listen != ""
+	collectTrace := wantTrace || listen != "" || chromeTrace != ""
+	var srv *obs.Server
+	if listen != "" {
+		srv = serveObs(listen, obs.ServerConfig{Inspector: rt, Stream: stream})
+	}
 
 	failed := false
 	for i, name := range apps {
@@ -191,8 +277,8 @@ func runMulti(apps []string, delays []time.Duration, dev *bt.Device, eng bt.Engi
 			Tasks:          tasks,
 			Warmup:         warmup,
 			Seed:           seed + int64(i)*7919,
-			CollectMetrics: wantMetrics,
-			CollectTrace:   wantTrace,
+			CollectMetrics: collectMetrics,
+			CollectTrace:   collectTrace,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "btrun:", err)
@@ -208,11 +294,19 @@ func runMulti(apps []string, delays []time.Duration, dev *bt.Device, eng bt.Engi
 		if res := s.Wait(); res.Err != nil {
 			failed = true
 		}
-		if m := s.Metrics(); m != nil {
+		if m := s.Metrics(); m != nil && wantMetrics {
 			fmt.Println()
 			fmt.Print(report.Section(fmt.Sprintf("metrics — %s", s.Name()), m.Table()))
 		}
 	}
+	if chromeTrace != "" {
+		parts := make([]trace.SessionTrace, 0, len(rt.Sessions()))
+		for _, s := range rt.Sessions() {
+			parts = append(parts, trace.SessionTrace{Name: s.Name(), Timeline: s.Timeline()})
+		}
+		writeChromeTrace(chromeTrace, trace.MergeSessions(parts...))
+	}
+	holdAndClose(srv, hold)
 	if failed {
 		os.Exit(1)
 	}

@@ -157,3 +157,36 @@ func TestPoolUtilizationEdgeCases(t *testing.T) {
 		t.Error("negative busy time recorded")
 	}
 }
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	single := &Histogram{}
+	single.Observe(time.Millisecond)
+	zeroOnly := &Histogram{}
+	zeroOnly.Observe(0)
+	negOnly := &Histogram{}
+	negOnly.Observe(-time.Second) // clamps to zero
+
+	cases := []struct {
+		name string
+		h    *Histogram
+		q    float64
+		want func(time.Duration) bool
+		desc string
+	}{
+		{"empty p50", &Histogram{}, 0.5, func(d time.Duration) bool { return d == 0 }, "0"},
+		{"empty p0", &Histogram{}, 0, func(d time.Duration) bool { return d == 0 }, "0"},
+		{"empty p100", &Histogram{}, 1, func(d time.Duration) bool { return d == 0 }, "0"},
+		{"q below range clamps", single, -3, func(d time.Duration) bool { return d >= time.Millisecond && d < 2*time.Millisecond }, "bound of the single obs"},
+		{"q above range clamps", single, 7, func(d time.Duration) bool { return d >= time.Millisecond && d < 2*time.Millisecond }, "bound of the single obs"},
+		{"single obs p50", single, 0.5, func(d time.Duration) bool { return d >= time.Millisecond && d < 2*time.Millisecond }, "bound of the single obs"},
+		{"zero-duration obs", zeroOnly, 0.99, func(d time.Duration) bool { return d == 0 }, "0 (bucket 0)"},
+		{"negative obs clamp", negOnly, 0.99, func(d time.Duration) bool { return d == 0 }, "0 (clamped)"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.h.Quantile(tc.q); !tc.want(got) {
+				t.Errorf("Quantile(%v) = %v, want %s", tc.q, got, tc.desc)
+			}
+		})
+	}
+}

@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"bettertogether/internal/metrics"
+)
+
+// PromSource is one metrics collector to expose, optionally namespaced
+// with a session label (multi-app runtime exposition sets it; single-run
+// exposition leaves it empty and the label is omitted).
+type PromSource struct {
+	// Session labels every series from this collector; "" omits the label.
+	Session string
+	// Metrics is the collector to read. Nil sources are skipped.
+	Metrics *metrics.Pipeline
+}
+
+// promQuantiles are the summary quantiles exposed per latency histogram.
+var promQuantiles = []float64{0.5, 0.9, 0.95, 0.99}
+
+// PromText writes the sources' stage, queue, and pool series as
+// Prometheus text exposition (version 0.0.4): dispatch/transfer counters,
+// service/wait/stall summaries with quantiles, occupancy and utilization
+// gauges. Reading is pull-only over the collectors' atomic counters, so
+// exposing a live run perturbs nothing. Series order is deterministic:
+// family by family, sources in argument order, rows in collector order.
+func PromText(w io.Writer, sources ...PromSource) error {
+	pw := &promWriter{w: w}
+
+	pw.family("bt_stage_dispatches_total", "counter",
+		"Completed executions per pipeline stage.")
+	eachSource(sources, func(src PromSource, m *metrics.Pipeline) {
+		for i := 0; i < m.NumStages(); i++ {
+			s := m.Stage(i)
+			pw.sample("bt_stage_dispatches_total", stageLabels(src, i, s), float64(s.Dispatches()))
+		}
+	})
+
+	pw.family("bt_stage_service_seconds", "summary",
+		"Per-stage service time (wall for the Real engine, virtual for Sim).")
+	eachSource(sources, func(src PromSource, m *metrics.Pipeline) {
+		for i := 0; i < m.NumStages(); i++ {
+			s := m.Stage(i)
+			pw.summary("bt_stage_service_seconds", stageLabels(src, i, s), s.Service())
+		}
+	})
+
+	pw.family("bt_queue_pushes_total", "counter", "Elements produced onto each edge.")
+	eachSource(sources, func(src PromSource, m *metrics.Pipeline) {
+		for i := 0; i < m.NumQueues(); i++ {
+			pw.sample("bt_queue_pushes_total", queueLabels(src, i, m.Queue(i)), float64(m.Queue(i).Pushes()))
+		}
+	})
+	pw.family("bt_queue_pops_total", "counter", "Elements consumed from each edge.")
+	eachSource(sources, func(src PromSource, m *metrics.Pipeline) {
+		for i := 0; i < m.NumQueues(); i++ {
+			pw.sample("bt_queue_pops_total", queueLabels(src, i, m.Queue(i)), float64(m.Queue(i).Pops()))
+		}
+	})
+	pw.family("bt_queue_depth_max", "gauge", "Highest observed edge occupancy.")
+	eachSource(sources, func(src PromSource, m *metrics.Pipeline) {
+		for i := 0; i < m.NumQueues(); i++ {
+			pw.sample("bt_queue_depth_max", queueLabels(src, i, m.Queue(i)), float64(m.Queue(i).MaxDepth()))
+		}
+	})
+	pw.family("bt_queue_wait_seconds", "summary", "Consumer-side wait per edge pop.")
+	eachSource(sources, func(src PromSource, m *metrics.Pipeline) {
+		for i := 0; i < m.NumQueues(); i++ {
+			pw.summary("bt_queue_wait_seconds", queueLabels(src, i, m.Queue(i)), m.Queue(i).Wait())
+		}
+	})
+	pw.family("bt_queue_stall_seconds", "summary",
+		"Producer-side backpressure per edge push.")
+	eachSource(sources, func(src PromSource, m *metrics.Pipeline) {
+		for i := 0; i < m.NumQueues(); i++ {
+			pw.summary("bt_queue_stall_seconds", queueLabels(src, i, m.Queue(i)), m.Queue(i).Stall())
+		}
+	})
+
+	pw.family("bt_pool_busy_seconds_total", "counter",
+		"Integrated busy lane-time per worker pool.")
+	eachSource(sources, func(src PromSource, m *metrics.Pipeline) {
+		for i := 0; i < m.NumPools(); i++ {
+			pw.sample("bt_pool_busy_seconds_total", poolLabels(src, i, m.Pool(i)), m.Pool(i).BusyTime().Seconds())
+		}
+	})
+	pw.family("bt_pool_utilization_ratio", "gauge",
+		"Busy lane-time over elapsed x width per worker pool.")
+	eachSource(sources, func(src PromSource, m *metrics.Pipeline) {
+		elapsed := m.Elapsed()
+		for i := 0; i < m.NumPools(); i++ {
+			pw.sample("bt_pool_utilization_ratio", poolLabels(src, i, m.Pool(i)), m.Pool(i).Utilization(elapsed))
+		}
+	})
+
+	pw.family("bt_run_elapsed_seconds", "gauge",
+		"Recorded run duration (wall for Real, virtual for Sim).")
+	eachSource(sources, func(src PromSource, m *metrics.Pipeline) {
+		pw.sample("bt_run_elapsed_seconds", sessionOnly(src), m.Elapsed().Seconds())
+	})
+
+	return pw.err
+}
+
+// eachSource invokes f for every source with a non-nil collector.
+func eachSource(sources []PromSource, f func(PromSource, *metrics.Pipeline)) {
+	for _, src := range sources {
+		if src.Metrics != nil {
+			f(src, src.Metrics)
+		}
+	}
+}
+
+// stageLabels builds the label set of a stage row.
+func stageLabels(src PromSource, i int, s *metrics.StageStats) []label {
+	name := s.Name
+	if name == "" {
+		name = fmt.Sprintf("stage %d", i)
+	}
+	return withSessionLabel(src, []label{
+		{"stage", name},
+		{"chunk", fmt.Sprintf("%d", s.Chunk)},
+		{"pu", s.PU},
+	})
+}
+
+// queueLabels builds the label set of a queue row.
+func queueLabels(src PromSource, i int, q *metrics.QueueStats) []label {
+	name := q.Label
+	if name == "" {
+		name = fmt.Sprintf("edge %d", i)
+	}
+	return withSessionLabel(src, []label{{"queue", name}})
+}
+
+// poolLabels builds the label set of a pool row.
+func poolLabels(src PromSource, _ int, p *metrics.PoolStats) []label {
+	return withSessionLabel(src, []label{
+		{"pu", p.PU},
+		{"width", fmt.Sprintf("%d", p.Width)},
+	})
+}
+
+// sessionOnly is the label set of a per-run series.
+func sessionOnly(src PromSource) []label { return withSessionLabel(src, nil) }
+
+// withSessionLabel prepends the session label when the source has one.
+func withSessionLabel(src PromSource, labels []label) []label {
+	if src.Session == "" {
+		return labels
+	}
+	return append([]label{{"session", src.Session}}, labels...)
+}
+
+// label is one key=value pair of a series.
+type label struct{ k, v string }
+
+// promWriter accumulates exposition text, remembering the first write
+// error so callers check once.
+type promWriter struct {
+	w   io.Writer
+	err error
+}
+
+// family writes the # HELP / # TYPE header of a metric family.
+func (pw *promWriter) family(name, typ, help string) {
+	pw.printf("# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+}
+
+// sample writes one series sample line.
+func (pw *promWriter) sample(name string, labels []label, v float64) {
+	pw.printf("%s%s %s\n", name, renderLabels(labels), formatValue(v))
+}
+
+// summary writes a histogram as a Prometheus summary: quantile series
+// plus _sum and _count.
+func (pw *promWriter) summary(name string, labels []label, h *metrics.Histogram) {
+	for _, q := range promQuantiles {
+		ql := append(append([]label(nil), labels...), label{"quantile", trimFloat(q)})
+		pw.sample(name, ql, h.Quantile(q).Seconds())
+	}
+	pw.printf("%s_sum%s %s\n", name, renderLabels(labels), formatValue(h.Sum().Seconds()))
+	pw.printf("%s_count%s %d\n", name, renderLabels(labels), h.Count())
+}
+
+// printf forwards to the writer, keeping the first error.
+func (pw *promWriter) printf(format string, args ...any) {
+	if pw.err != nil {
+		return
+	}
+	_, pw.err = fmt.Fprintf(pw.w, format, args...)
+}
+
+// renderLabels renders {k="v",...}; empty label sets render nothing.
+func renderLabels(labels []label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// escapeHelp escapes a HELP string per the exposition format.
+func escapeHelp(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// formatValue renders a sample value: integral values without an
+// exponent, everything else in compact scientific-free form.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return trimFloat(v)
+}
+
+// trimFloat renders a float without trailing zeros.
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.9f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimSuffix(s, ".")
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"fmt"
+
+	"bettertogether/internal/metrics"
+)
+
+// StageSnapshot is one stage row of a metrics snapshot.
+type StageSnapshot struct {
+	Name       string  `json:"name"`
+	Chunk      int     `json:"chunk"`
+	PU         string  `json:"pu"`
+	Dispatches uint64  `json:"dispatches"`
+	MeanSec    float64 `json:"meanSec"`
+	P50Sec     float64 `json:"p50Sec"`
+	P95Sec     float64 `json:"p95Sec"`
+	P99Sec     float64 `json:"p99Sec"`
+	MaxSec     float64 `json:"maxSec"`
+}
+
+// QueueSnapshot is one edge row of a metrics snapshot.
+type QueueSnapshot struct {
+	Label        string  `json:"label"`
+	Cap          int     `json:"cap"`
+	Pushes       uint64  `json:"pushes"`
+	Pops         uint64  `json:"pops"`
+	MaxDepth     int     `json:"maxDepth"`
+	MeanWaitSec  float64 `json:"meanWaitSec"`
+	MeanStallSec float64 `json:"meanStallSec"`
+}
+
+// PoolSnapshot is one worker-pool row of a metrics snapshot.
+type PoolSnapshot struct {
+	PU          string  `json:"pu"`
+	Width       int     `json:"width"`
+	BusySec     float64 `json:"busySec"`
+	Utilization float64 `json:"utilization"`
+}
+
+// MetricsSnapshot is the JSON-oriented point-in-time view of one
+// collector: everything the ASCII Table renders, as structured data for
+// tooling. Snapshot reads the collector's atomic counters, so taking one
+// of a live run is safe (it is a consistent-enough view, not an atomic
+// cut).
+type MetricsSnapshot struct {
+	Session    string          `json:"session,omitempty"`
+	ElapsedSec float64         `json:"elapsedSec"`
+	Stages     []StageSnapshot `json:"stages"`
+	Queues     []QueueSnapshot `json:"queues"`
+	Pools      []PoolSnapshot  `json:"pools"`
+}
+
+// Snapshot captures a collector into a MetricsSnapshot. Nil returns an
+// empty snapshot.
+func Snapshot(m *metrics.Pipeline) MetricsSnapshot {
+	snap := MetricsSnapshot{
+		Stages: []StageSnapshot{},
+		Queues: []QueueSnapshot{},
+		Pools:  []PoolSnapshot{},
+	}
+	if m == nil {
+		return snap
+	}
+	snap.ElapsedSec = m.Elapsed().Seconds()
+	for i := 0; i < m.NumStages(); i++ {
+		s := m.Stage(i)
+		name := s.Name
+		if name == "" {
+			name = fmt.Sprintf("stage %d", i)
+		}
+		h := s.Service()
+		snap.Stages = append(snap.Stages, StageSnapshot{
+			Name: name, Chunk: s.Chunk, PU: s.PU,
+			Dispatches: s.Dispatches(),
+			MeanSec:    h.Mean().Seconds(),
+			P50Sec:     h.Quantile(0.5).Seconds(),
+			P95Sec:     h.Quantile(0.95).Seconds(),
+			P99Sec:     h.Quantile(0.99).Seconds(),
+			MaxSec:     h.Max().Seconds(),
+		})
+	}
+	for i := 0; i < m.NumQueues(); i++ {
+		q := m.Queue(i)
+		lbl := q.Label
+		if lbl == "" {
+			lbl = fmt.Sprintf("edge %d", i)
+		}
+		snap.Queues = append(snap.Queues, QueueSnapshot{
+			Label: lbl, Cap: q.Cap,
+			Pushes: q.Pushes(), Pops: q.Pops(), MaxDepth: q.MaxDepth(),
+			MeanWaitSec:  q.Wait().Mean().Seconds(),
+			MeanStallSec: q.Stall().Mean().Seconds(),
+		})
+	}
+	elapsed := m.Elapsed()
+	for i := 0; i < m.NumPools(); i++ {
+		p := m.Pool(i)
+		snap.Pools = append(snap.Pools, PoolSnapshot{
+			PU: p.PU, Width: p.Width,
+			BusySec:     p.BusyTime().Seconds(),
+			Utilization: p.Utilization(elapsed),
+		})
+	}
+	return snap
+}

@@ -3,6 +3,9 @@ package pipeline
 import (
 	"context"
 	"fmt"
+	"time"
+
+	"bettertogether/internal/obs"
 )
 
 // Engine is the uniform execution surface over the package's two
@@ -112,9 +115,24 @@ func drive(ctx context.Context, p *Plan, opts Options, exec func(context.Context
 	if err := ctx.Err(); err != nil {
 		return Result{Err: err}
 	}
+	if ev := opts.Events; ev != nil {
+		e := obs.NewEvent(obs.KindRunStart)
+		e.Task = opts.Tasks
+		e.Detail = fmt.Sprintf("%s tasks=%d warmup=%d", p.App.Name, opts.Tasks, opts.Warmup)
+		ev.Emit(e)
+	}
 	out := exec(ctx, p, opts)
 	r := finalize(out.completions, out.measureStart, out.chunkBusy)
 	r.EnergyJ, r.EnergyPerTaskJ, r.AvgWatts = out.energyJ, out.energyPerTaskJ, out.avgWatts
 	r.Err = out.err
+	if ev := opts.Events; ev != nil {
+		e := obs.NewEvent(obs.KindRunEnd)
+		e.Task = len(r.Completions)
+		e.Dur = time.Duration(r.Elapsed * float64(time.Second))
+		if r.Err != nil {
+			e.Detail = r.Err.Error()
+		}
+		ev.Emit(e)
+	}
 	return r
 }

@@ -20,6 +20,7 @@ import (
 
 	"bettertogether/internal/core"
 	"bettertogether/internal/metrics"
+	"bettertogether/internal/obs"
 	"bettertogether/internal/soc"
 	"bettertogether/internal/trace"
 )
@@ -116,6 +117,16 @@ type Options struct {
 	// CPU-bound Go code here, so the width models "many lanes" without
 	// oversubscribing the host. <= 0 selects DefaultGPUPoolWidth.
 	GPUPoolWidth int
+	// Events, when non-nil, receives typed observability events from the
+	// engine driver and executors: RunStart/RunEnd around every run,
+	// StageDone per stage execution (both engines), QueueStall on
+	// producer-side backpressure and PanicRecovered on contained kernel
+	// panics (Real engine). Emission is allocation-free and never blocks;
+	// it does not perturb the Sim engine's virtual timeline (results are
+	// bit-identical with and without a sink, pinned by test). The runtime
+	// layer passes an obs.WithSession-wrapped sink here so one shared
+	// stream carries every session's events under its own identity.
+	Events obs.Sink
 	// BaseEnv is an external interference environment overlaid on every
 	// chunk's environment by the Sim engine: PU classes busy on behalf of
 	// *other* workloads sharing the device, as the runtime layer's

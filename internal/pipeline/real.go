@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"context"
+	"fmt"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
@@ -9,6 +10,7 @@ import (
 
 	"bettertogether/internal/core"
 	"bettertogether/internal/metrics"
+	"bettertogether/internal/obs"
 	"bettertogether/internal/queue"
 	"bettertogether/internal/trace"
 )
@@ -63,6 +65,7 @@ func ExecuteContext(ctx context.Context, p *Plan, opts Options) Result {
 func realRun(ctx context.Context, p *Plan, opts Options) runOutcome {
 	total := opts.Warmup + opts.Tasks
 	m := opts.Metrics
+	ev := opts.Events
 	nChunks := len(p.Chunks)
 
 	// One worker pool per PU class used, sized like the cluster (or the
@@ -159,6 +162,12 @@ func realRun(ctx context.Context, p *Plan, opts Options) runOutcome {
 						perr.Value, perr.Stack = r, debug.Stack()
 					}
 					fail(perr)
+					if ev != nil {
+						e := obs.NewEvent(obs.KindPanicRecovered)
+						e.Chunk, e.Task, e.Stage = ci, curTask, perr.Stage
+						e.Detail = fmt.Sprint(perr.Value)
+						ev.Emit(e)
+					}
 				}
 			}()
 			in, out := ring.In(ci), ring.Out(ci)
@@ -185,8 +194,16 @@ func realRun(ctx context.Context, p *Plan, opts Options) runOutcome {
 					curStage = s
 					t0 := time.Now()
 					p.App.Stages[s].Kernel(backend)(task, pool.ParFor)
+					service := time.Since(t0)
 					if m != nil {
-						m.StageDone(s, time.Since(t0))
+						m.StageDone(s, service)
+					}
+					if ev != nil {
+						e := obs.NewEvent(obs.KindStageDone)
+						e.Chunk, e.Task = ci, task.Seq
+						e.Stage = p.App.Stages[s].Name
+						e.Dur = service
+						ev.Emit(e)
 					}
 					if opts.Trace != nil {
 						spans[ci] = append(spans[ci], trace.Span{
@@ -226,11 +243,11 @@ func realRun(ctx context.Context, p *Plan, opts Options) runOutcome {
 						// Step 5 + recycling: reset for the next stream
 						// input and push back to the first queue.
 						task.Reset(next)
-						pushTimed(out, task, m, outEdge)
+						pushTimed(out, task, m, ev, outEdge)
 					}
 				} else {
 					// Step 5: hand the task to the next chunk.
-					pushTimed(out, task, m, outEdge)
+					pushTimed(out, task, m, ev, outEdge)
 				}
 			}
 		}()
@@ -301,20 +318,32 @@ func realRun(ctx context.Context, p *Plan, opts Options) runOutcome {
 }
 
 // pushTimed pushes a task onto an edge, recording producer-side
-// backpressure when metrics are attached. The fast path (room available)
-// records a zero stall without reading the clock twice.
-func pushTimed(out *queue.SPSC[*core.TaskObject], task *core.TaskObject, m *metrics.Pipeline, edge int) {
-	if m == nil {
+// backpressure when metrics are attached and emitting a QueueStall event
+// when the push actually blocked. The fast path (room available) records
+// a zero stall without reading the clock twice and emits nothing.
+func pushTimed(out *queue.SPSC[*core.TaskObject], task *core.TaskObject, m *metrics.Pipeline, ev obs.Sink, edge int) {
+	if m == nil && ev == nil {
 		out.Push(task)
 		return
 	}
 	if out.TryPush(task) {
-		m.QueueStall(edge, 0)
-		m.QueueDepth(edge, out.Len())
+		if m != nil {
+			m.QueueStall(edge, 0)
+			m.QueueDepth(edge, out.Len())
+		}
 		return
 	}
 	t0 := time.Now()
 	out.Push(task)
-	m.QueueStall(edge, time.Since(t0))
-	m.QueueDepth(edge, out.Len())
+	stall := time.Since(t0)
+	if m != nil {
+		m.QueueStall(edge, stall)
+		m.QueueDepth(edge, out.Len())
+	}
+	if ev != nil {
+		e := obs.NewEvent(obs.KindQueueStall)
+		e.Chunk, e.Task = edge, task.Seq
+		e.Dur = stall
+		ev.Emit(e)
+	}
 }

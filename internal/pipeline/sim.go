@@ -8,6 +8,7 @@ import (
 
 	"bettertogether/internal/core"
 	"bettertogether/internal/des"
+	"bettertogether/internal/obs"
 	"bettertogether/internal/soc"
 	"bettertogether/internal/trace"
 )
@@ -183,6 +184,16 @@ func simRun(_ context.Context, p *Plan, opts Options) runOutcome {
 		integrate(c)
 		if m != nil {
 			m.StageDone(c.stages[c.stagePos], simSeconds(eng.Now()-c.stageStart))
+		}
+		if opts.Events != nil {
+			// Purely observational: reads the event clock, touches no RNG,
+			// so the virtual timeline is unchanged (pinned by test).
+			e := obs.NewEvent(obs.KindStageDone)
+			si := c.stages[c.stagePos]
+			e.Chunk, e.Task = c.idx, c.task
+			e.Stage = p.App.Stages[si].Name
+			e.Dur = simSeconds(eng.Now() - c.stageStart)
+			opts.Events.Emit(e)
 		}
 		if opts.Trace != nil {
 			si := c.stages[c.stagePos]

@@ -29,6 +29,7 @@ import (
 	"sync"
 
 	"bettertogether/internal/core"
+	"bettertogether/internal/obs"
 	"bettertogether/internal/pipeline"
 	"bettertogether/internal/profiler"
 	"bettertogether/internal/report"
@@ -76,6 +77,13 @@ type Config struct {
 	K             int
 	// Seed drives profiling and autotuning noise streams.
 	Seed int64
+	// Events, when non-nil, receives typed runtime observability events:
+	// Admit/Reject on every admission decision, Replan when churn changes
+	// a resident's schedule, WaveStart/WaveEnd around each session wave,
+	// SessionEnd on departure — plus the engine-level events of every
+	// wave, tagged with the owning session's name. Pass an *obs.Stream to
+	// feed the introspection server's /events endpoint.
+	Events obs.Sink
 }
 
 // Runtime is a long-lived multi-application execution context bound to
@@ -89,6 +97,7 @@ type Runtime struct {
 	nextID   int
 	resident map[int]*Session
 	history  []*Session
+	rejected int
 	closed   bool
 }
 
@@ -157,19 +166,46 @@ func (rt *Runtime) Admit(app *core.Application, opts AdmitOptions) (*Session, er
 		total = total.plus(planDemand(rt.resident[id].currentPlan()))
 	}
 	if capBW := rt.cfg.BWHeadroom * rt.dev.DRAMBWGBs; total.bwGBs > capBW {
-		return nil, &AdmissionError{App: app.Name, Resource: ResourceBandwidth, Demand: total.bwGBs, Capacity: capBW}
+		return nil, rt.rejectLocked(&AdmissionError{App: app.Name, Resource: ResourceBandwidth, Demand: total.bwGBs, Capacity: capBW}, opts)
 	}
 	if capCores := rt.cfg.CoreHeadroom * rt.deviceCores(); total.cores > capCores {
-		return nil, &AdmissionError{App: app.Name, Resource: ResourceCores, Demand: total.cores, Capacity: capCores}
+		return nil, rt.rejectLocked(&AdmissionError{App: app.Name, Resource: ResourceCores, Demand: total.cores, Capacity: capCores}, opts)
 	}
 
 	s := newSession(rt, rt.nextID, app, opts, plan, env)
 	rt.nextID++
 	rt.resident[s.id] = s
 	rt.history = append(rt.history, s)
+	rt.emit(func(e *obs.Event) {
+		e.Kind = obs.KindAdmit
+		e.Session = s.opts.Name
+		e.Detail = plan.Schedule.String()
+	})
 	rt.replanLocked(s)
 	go s.run()
 	return s, nil
+}
+
+// rejectLocked counts a refused admission and emits its Reject event.
+func (rt *Runtime) rejectLocked(err *AdmissionError, opts AdmitOptions) error {
+	rt.rejected++
+	rt.emit(func(e *obs.Event) {
+		e.Kind = obs.KindReject
+		e.Session = opts.Name
+		e.Detail = err.Error()
+	})
+	return err
+}
+
+// emit sends one event to the configured sink, if any. fill mutates a
+// pre-initialized event (index fields unset).
+func (rt *Runtime) emit(fill func(*obs.Event)) {
+	if rt.cfg.Events == nil {
+		return
+	}
+	e := obs.NewEvent(obs.KindAdmit)
+	fill(&e)
+	rt.cfg.Events.Emit(e)
 }
 
 // deviceCores sums the device's PU core counts.
@@ -256,7 +292,13 @@ func (rt *Runtime) replanLocked(except *Session) {
 			s.setEnv(env)
 			continue
 		}
-		s.setPlan(plan, env)
+		if s.setPlan(plan, env) {
+			rt.emit(func(e *obs.Event) {
+				e.Kind = obs.KindReplan
+				e.Session = s.opts.Name
+				e.Detail = plan.Schedule.String()
+			})
+		}
 	}
 }
 

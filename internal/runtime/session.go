@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"bettertogether/internal/core"
 	"bettertogether/internal/metrics"
+	"bettertogether/internal/obs"
 	"bettertogether/internal/pipeline"
 	"bettertogether/internal/soc"
 	"bettertogether/internal/trace"
@@ -128,6 +130,18 @@ func newSession(rt *Runtime, id int, app *core.Application, opts AdmitOptions, p
 func (s *Session) run() {
 	defer close(s.done)
 	defer s.rt.exit(s)
+	defer func() {
+		// Runs before exit/close (LIFO), so for one session every
+		// WaveEnd precedes its SessionEnd on the stream.
+		s.rt.emit(func(e *obs.Event) {
+			e.Kind = obs.KindSessionEnd
+			e.Session = s.opts.Name
+			if err := s.Err(); err != nil {
+				e.Detail = err.Error()
+			}
+		})
+	}()
+	sink := obs.WithSession(s.rt.cfg.Events, s.opts.Name)
 	remaining := s.opts.Tasks
 	for wave := 0; remaining > 0; wave++ {
 		if err := s.ctx.Err(); err != nil {
@@ -149,6 +163,7 @@ func (s *Session) run() {
 			Seed:         s.opts.Seed + int64(wave)*1009,
 			BaseEnv:      env,
 			GPUPoolWidth: s.opts.GPUPoolWidth,
+			Events:       sink,
 		}
 		if s.opts.CollectMetrics {
 			o.Metrics = pipeline.NewMetricsFor(plan, o)
@@ -156,8 +171,24 @@ func (s *Session) run() {
 		if s.opts.CollectTrace {
 			o.Trace = &trace.Timeline{}
 		}
+		wv := wave
+		s.rt.emit(func(e *obs.Event) {
+			e.Kind = obs.KindWaveStart
+			e.Session = s.opts.Name
+			e.Wave, e.Task = wv, n
+			e.Detail = plan.Schedule.String()
+		})
 		r := s.rt.eng.Run(s.ctx, plan, o)
 		s.absorb(r, o.Metrics, o.Trace, warm)
+		s.rt.emit(func(e *obs.Event) {
+			e.Kind = obs.KindWaveEnd
+			e.Session = s.opts.Name
+			e.Wave, e.Task = wv, len(r.Completions)
+			e.Dur = time.Duration(r.Elapsed * float64(time.Second))
+			if r.Err != nil {
+				e.Detail = r.Err.Error()
+			}
+		})
 		if r.Err != nil {
 			s.fail(r.Err)
 			return
@@ -218,16 +249,18 @@ func (s *Session) currentPlan() *pipeline.Plan {
 }
 
 // setPlan installs a re-planned schedule and environment; a genuinely
-// different schedule counts as a re-plan.
-func (s *Session) setPlan(p *pipeline.Plan, env soc.Env) {
+// different schedule counts as a re-plan and reports true.
+func (s *Session) setPlan(p *pipeline.Plan, env soc.Env) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if !p.Schedule.Equal(s.plan.Schedule) {
+	changed := !p.Schedule.Equal(s.plan.Schedule)
+	if changed {
 		s.replans++
 		s.schedules = append(s.schedules, p.Schedule)
 	}
 	s.plan = p
 	s.env = env
+	return changed
 }
 
 // setEnv updates only the environment (pinned-schedule sessions, or

@@ -111,3 +111,30 @@ func TestGanttDominantStagePerCell(t *testing.T) {
 		t.Errorf("dominant stage not shown: %q", row)
 	}
 }
+
+// TestGanttZeroHorizonGolden pins the exact guard output: a timeline
+// with no spans, and one whose spans all have zero extent, must both
+// render the stable empty-timeline string (exporters and the
+// introspection server rely on Gantt never dividing by a zero horizon).
+func TestGanttZeroHorizonGolden(t *testing.T) {
+	const golden = "(empty timeline)\n"
+	zeroSpan := &Timeline{}
+	zeroSpan.Add(Span{Chunk: 0, PU: "big", Stage: "s0", Start: 0, End: 0})
+	zeroSpan.Add(Span{Chunk: 1, PU: "gpu", Stage: "s1", Start: 0, End: 0})
+	cases := []struct {
+		name string
+		tl   *Timeline
+	}{
+		{"no spans", &Timeline{}},
+		{"all zero-extent spans", zeroSpan},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, width := range []int{0, 1, 40, 200} {
+				if got := tc.tl.Gantt(width); got != golden {
+					t.Fatalf("Gantt(%d) = %q, want %q", width, got, golden)
+				}
+			}
+		})
+	}
+}
