@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all check vet build test race bench bench-suite
+.PHONY: all check vet build test race bench bench-suite bench-churn
 
 all: check
 
@@ -25,7 +25,7 @@ test:
 # experiment grids, the autotune worker pool, and the profiling cache's
 # singleflight.
 race:
-	$(GO) test -race -count=1 ./internal/pipeline/... ./internal/queue/... ./internal/metrics/... ./internal/runtime/... ./internal/obs/...
+	$(GO) test -race -count=1 ./internal/pipeline/... ./internal/queue/... ./internal/metrics/... ./internal/runtime/... ./internal/obs/... ./internal/schedcache/...
 	$(GO) test -race -count=1 -run 'Parallel|Concurrent|ForEach' ./internal/experiments/... ./internal/sched/...
 
 bench:
@@ -46,3 +46,17 @@ bench-suite:
 	 t1=$$(date +%s%N); echo "parallel: $$(( (t1 - t0) / 1000000 )) ms"
 	@cmp .bench/serial.txt .bench/parallel.txt && echo "outputs identical" || \
 	 { echo "FAIL: parallel output diverges from serial golden output"; exit 1; }
+
+# bench-churn runs the admission-churn benchmark (schedule cache off vs
+# on), requires the cache to deliver at least a 5x admission speedup,
+# writes the fresh samples to .bench/BENCH_6.json, and — when a baseline
+# BENCH_6.json is committed at the repo root — gates against it with a
+# 10% regression tolerance.
+CHURN_MIN_SPEEDUP ?= 5
+CHURN_GATE := $(wildcard BENCH_6.json)
+bench-churn:
+	@mkdir -p .bench
+	$(GO) build -o .bench/btbench ./cmd/btbench
+	.bench/btbench -exp churn -churn-min-speedup $(CHURN_MIN_SPEEDUP) \
+	  -bench-json .bench/BENCH_6.json \
+	  $(if $(CHURN_GATE),-bench-gate $(CHURN_GATE) -gate-tolerance 10,)

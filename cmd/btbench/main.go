@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"bettertogether/internal/benchjson"
 	"bettertogether/internal/cli"
 	"bettertogether/internal/experiments"
 	"bettertogether/internal/obs"
@@ -24,10 +25,15 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e0, table1, table2, fig1, table3, fig4, fig5, fig6, table4, fig7, abl-dp, abl-k, abl-buffers, abl-reps, ext-energy, all)")
+	exp := flag.String("exp", "all", "experiment id (e0, table1, table2, fig1, table3, fig4, fig5, fig6, table4, fig7, abl-dp, abl-k, abl-buffers, abl-reps, ext-energy, churn, all)")
 	parallel := flag.Bool("parallel", false, "fan experiment grids across GOMAXPROCS-bounded workers (deterministic: output matches the serial run)")
 	timing := flag.Bool("time", false, "report per-experiment and total wall-clock to stderr")
 	listen := flag.String("listen", "", "serve liveness, pprof and per-experiment progress events over HTTP while the suite runs")
+	benchJSON := flag.String("bench-json", "", "write churn benchmark samples to this path in github-action-benchmark shape")
+	benchGate := flag.String("bench-gate", "", "compare churn samples against this baseline report and fail on regression")
+	gateTol := flag.Float64("gate-tolerance", 10, "regression tolerance for -bench-gate, percent")
+	churnRounds := flag.Int("churn-rounds", 0, "admit/drain rounds per churn mode (0 selects the default)")
+	churnMinSpeedup := flag.Float64("churn-min-speedup", 0, "fail unless the churn cache speedup reaches this factor (0 disables)")
 	flag.Parse()
 
 	s := experiments.NewSuite()
@@ -57,11 +63,18 @@ func main() {
 	if *exp == "all" {
 		ids = []string{"table1", "table2", "fig1", "e0", "table3", "fig4", "fig5", "fig6", "table4", "fig7", "abl-dp", "abl-k", "abl-buffers", "abl-reps", "abl-slack", "ext-energy", "ext-vision"}
 	}
+	churn := churnOpts{
+		rounds:     *churnRounds,
+		minSpeedup: *churnMinSpeedup,
+		jsonPath:   *benchJSON,
+		gatePath:   *benchGate,
+		tolerance:  *gateTol,
+	}
 	start := time.Now()
 	for _, id := range ids {
 		t0 := time.Now()
 		mark(obs.KindRunStart, strings.TrimSpace(id), 0)
-		if err := run(s, strings.TrimSpace(id)); err != nil {
+		if err := run(s, strings.TrimSpace(id), churn); err != nil {
 			cli.Fatalf("btbench", "%s: %v", id, err)
 		}
 		mark(obs.KindRunEnd, strings.TrimSpace(id), time.Since(t0))
@@ -75,8 +88,56 @@ func main() {
 	}
 }
 
-func run(s *experiments.Suite, id string) error {
+// churnOpts carries the churn experiment's flags into run. The churn
+// experiment is excluded from -exp all: its timing output is wall-clock
+// dependent, which would break the suite's deterministic-output
+// contract (and the bench-suite golden diff).
+type churnOpts struct {
+	rounds     int
+	minSpeedup float64
+	jsonPath   string
+	gatePath   string
+	tolerance  float64
+}
+
+// runChurn runs the admission-churn benchmark, optionally writing the
+// github-action-benchmark JSON, gating against a committed baseline,
+// and enforcing a minimum cache speedup.
+func runChurn(o churnOpts) error {
+	res, body, err := experiments.Churn(experiments.ChurnConfig{Rounds: o.rounds})
+	if err != nil {
+		return err
+	}
+	fmt.Print(body)
+	report := benchjson.NewReport()
+	report.Benches = res.Benches()
+	if o.jsonPath != "" {
+		if err := benchjson.Write(o.jsonPath, report); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "btbench: wrote %s\n", o.jsonPath)
+	}
+	if o.gatePath != "" {
+		base, err := benchjson.Read(o.gatePath)
+		if err != nil {
+			return err
+		}
+		if violations := benchjson.Compare(base, report, o.tolerance); len(violations) > 0 {
+			return fmt.Errorf("benchmark regression vs %s:\n  %s",
+				o.gatePath, strings.Join(violations, "\n  "))
+		}
+		fmt.Fprintf(os.Stderr, "btbench: bench gate vs %s passed (tolerance %.0f%%)\n", o.gatePath, o.tolerance)
+	}
+	if o.minSpeedup > 0 && res.Speedup < o.minSpeedup {
+		return fmt.Errorf("churn cache speedup %.1fx below required %.1fx", res.Speedup, o.minSpeedup)
+	}
+	return nil
+}
+
+func run(s *experiments.Suite, id string, churn churnOpts) error {
 	switch id {
+	case "churn":
+		return runChurn(churn)
 	case "table1":
 		fmt.Print(report.Section("Table 1", s.Table1()))
 	case "table2":

@@ -33,6 +33,7 @@ import (
 	"bettertogether/internal/obs"
 	"bettertogether/internal/report"
 	btruntime "bettertogether/internal/runtime"
+	"bettertogether/internal/schedcache"
 	"bettertogether/internal/trace"
 	"bettertogether/pkg/bt"
 	"bettertogether/pkg/btapps"
@@ -89,6 +90,9 @@ func main() {
 	listen := flag.String("listen", "", "serve observability HTTP on this address (/metrics, /sessions, /trace, /events, /healthz, /debug/pprof)")
 	hold := flag.Duration("hold", 0, "with -listen: keep the server up this long after the run finishes (for scrapers and CI probes)")
 	chromeTrace := flag.String("chrome-trace", "", "write the run's timeline as Chrome trace_event JSON to this file (implies tracing; open in Perfetto)")
+	cacheCap := flag.Int("sched-cache", 0, "multi-app: memoize planning results in a schedule cache of this capacity (0 = off)")
+	cacheBucket := flag.Float64("cache-bucket", 0, "multi-app: cache Env quantization bucket width (0 = default)")
+	replanDelta := flag.Float64("replan-delta", 0, "multi-app: skip re-planning a resident whose Env moved less than this since its last solve (0 = always re-plan)")
 	flag.Parse()
 
 	if len(apps) == 0 {
@@ -101,7 +105,8 @@ func main() {
 
 	if len(apps) > 1 {
 		runMulti(apps, delays, dev, eng, *schedule, *tasks, *warmup, *seed,
-			*gantt || *traceFlag, *metricsFlag, *listen, *hold, *chromeTrace)
+			*gantt || *traceFlag, *metricsFlag, *listen, *hold, *chromeTrace,
+			*cacheCap, *cacheBucket, *replanDelta)
 		return
 	}
 	runSingle(apps[0], dev, eng, *schedule, *engine, *tasks, *warmup, *seed,
@@ -242,11 +247,15 @@ func runSingle(appName string, dev *bt.Device, eng bt.Engine, schedule, engineNa
 // is rejected.
 func runMulti(apps []string, delays []time.Duration, dev *bt.Device, eng bt.Engine,
 	schedule string, tasks, warmup int, seed int64, wantTrace, wantMetrics bool,
-	listen string, hold time.Duration, chromeTrace string) {
+	listen string, hold time.Duration, chromeTrace string,
+	cacheCap int, cacheBucket, replanDelta float64) {
 	if schedule != "auto" {
 		cli.Fatalf("btrun", "multi-app mode plans each session itself; drop -schedule (got %q)", schedule)
 	}
-	cfg := btruntime.Config{Device: dev, Engine: eng, Seed: seed}
+	cfg := btruntime.Config{Device: dev, Engine: eng, Seed: seed, ReplanDelta: replanDelta}
+	if cacheCap > 0 {
+		cfg.Cache = schedcache.New(cacheCap, cacheBucket)
+	}
 	var stream *obs.Stream
 	if listen != "" {
 		stream = obs.NewStream(obs.DefaultStreamCapacity)
@@ -262,7 +271,18 @@ func runMulti(apps []string, delays []time.Duration, dev *bt.Device, eng bt.Engi
 	collectTrace := wantTrace || listen != "" || chromeTrace != ""
 	var srv *obs.Server
 	if listen != "" {
-		srv = serveObs(listen, obs.ServerConfig{Inspector: rt, Stream: stream})
+		srvCfg := obs.ServerConfig{Inspector: rt, Stream: stream}
+		if c := rt.Cache(); c != nil {
+			srvCfg.Cache = func() obs.CacheStats {
+				s := c.Stats()
+				return obs.CacheStats{
+					Hits: s.Hits, Misses: s.Misses,
+					Stores: s.Stores, Evictions: s.Evictions,
+					Size: s.Size, Capacity: s.Capacity,
+				}
+			}
+		}
+		srv = serveObs(listen, srvCfg)
 	}
 
 	failed := false
@@ -289,6 +309,11 @@ func runMulti(apps []string, delays []time.Duration, dev *bt.Device, eng bt.Engi
 	}
 	rt.Wait()
 
+	if c := rt.Cache(); c != nil {
+		st := c.Stats()
+		fmt.Fprintf(os.Stderr, "btrun: schedule cache: %d hits, %d misses, %d stores, %d evictions (%d/%d entries); %d re-plans delta-skipped\n",
+			st.Hits, st.Misses, st.Stores, st.Evictions, st.Size, st.Capacity, rt.ReplansSkipped())
+	}
 	fmt.Print(rt.Report(100))
 	for _, s := range rt.Sessions() {
 		if res := s.Wait(); res.Err != nil {

@@ -1,0 +1,114 @@
+// Package benchjson reads and writes benchmark results in the
+// github-action-benchmark entry shape (the `tool`/`benches` objects the
+// action appends to dev/bench/data.js — see buildpacks/pack for the
+// reference trajectory), and compares two reports for CI regression
+// gating. One BENCH_<n>.json is committed per PR so the benchmark
+// trajectory is machine-readable across the repo's history.
+package benchjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+)
+
+// Bench is one benchmark sample.
+type Bench struct {
+	// Name identifies the bench ("churn/admit-ns/cache=on").
+	Name string `json:"name"`
+	// Value is the sample in Unit. Units ending in "/op" (ns/op, B/op)
+	// gate smaller-is-better; ratio units ("x") gate bigger-is-better.
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+	// Extra carries free-form context (iteration counts, proc counts).
+	Extra string `json:"extra,omitempty"`
+}
+
+// Report is one run's result set.
+type Report struct {
+	// Date is the collection time in Unix milliseconds.
+	Date int64 `json:"date"`
+	// Tool tags the producer; "go" matches the action's Go benchmark
+	// ingestion.
+	Tool    string  `json:"tool"`
+	Benches []Bench `json:"benches"`
+}
+
+// NewReport stamps an empty "go"-tool report with the current time.
+func NewReport() Report {
+	return Report{Date: time.Now().UnixMilli(), Tool: "go"}
+}
+
+// Add appends one sample.
+func (r *Report) Add(name string, value float64, unit, extra string) {
+	r.Benches = append(r.Benches, Bench{Name: name, Value: value, Unit: unit, Extra: extra})
+}
+
+// Write marshals the report (indented, trailing newline) to path.
+func Write(path string, r Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchjson: marshal: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Read unmarshals a report from path.
+func Read(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, fmt.Errorf("benchjson: %w", err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Report{}, fmt.Errorf("benchjson: parse %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// smallerIsBetter reports the gate direction for a unit: per-op costs
+// regress upward, ratios (speedups) regress downward.
+func smallerIsBetter(unit string) bool {
+	return strings.HasSuffix(unit, "/op")
+}
+
+// Compare gates fresh against base: every bench present in base must
+// exist in fresh and must not have regressed by more than tolerancePct
+// percent in its unit's direction. It returns one message per
+// violation; an empty slice passes. Benches only in fresh are ignored
+// (new benches enter the baseline when it is regenerated).
+func Compare(base, fresh Report, tolerancePct float64) []string {
+	idx := make(map[string]Bench, len(fresh.Benches))
+	for _, b := range fresh.Benches {
+		idx[b.Name] = b
+	}
+	var violations []string
+	for _, old := range base.Benches {
+		now, ok := idx[old.Name]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("%s: missing from fresh run", old.Name))
+			continue
+		}
+		if now.Unit != old.Unit {
+			violations = append(violations, fmt.Sprintf("%s: unit changed %s -> %s", old.Name, old.Unit, now.Unit))
+			continue
+		}
+		tol := tolerancePct / 100
+		if smallerIsBetter(old.Unit) {
+			if limit := old.Value * (1 + tol); now.Value > limit {
+				violations = append(violations, fmt.Sprintf(
+					"%s: %.0f %s exceeds baseline %.0f by more than %.0f%%",
+					old.Name, now.Value, old.Unit, old.Value, tolerancePct))
+			}
+		} else {
+			if limit := old.Value * (1 - tol); now.Value < limit {
+				violations = append(violations, fmt.Sprintf(
+					"%s: %.2f %s fell below baseline %.2f by more than %.0f%%",
+					old.Name, now.Value, old.Unit, old.Value, tolerancePct))
+			}
+		}
+	}
+	return violations
+}

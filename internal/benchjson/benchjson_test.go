@@ -1,0 +1,137 @@
+package benchjson
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func report(benches ...Bench) Report {
+	return Report{Date: 1700000000000, Tool: "go", Benches: benches}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	in := report(
+		Bench{Name: "churn/admit/cache=off", Value: 1.5e7, Unit: "ns/op", Extra: "32 admits"},
+		Bench{Name: "churn/speedup", Value: 12.5, Unit: "x"},
+	)
+	if err := Write(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Date != in.Date || out.Tool != "go" || len(out.Benches) != 2 {
+		t.Fatalf("round trip mangled the report: %+v", out)
+	}
+	if out.Benches[0] != in.Benches[0] || out.Benches[1] != in.Benches[1] {
+		t.Fatalf("benches diverged: %+v", out.Benches)
+	}
+}
+
+// TestWriteShape pins the github-action-benchmark entry shape: the
+// action's Go ingestion expects date/tool/benches with name, value,
+// unit per sample.
+func TestWriteShape(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "b.json")
+	if err := Write(path, report(Bench{Name: "n", Value: 1, Unit: "ns/op"})); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(string(data), "\n") {
+		t.Error("report file does not end in a newline")
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"date", "tool", "benches"} {
+		if _, ok := raw[key]; !ok {
+			t.Errorf("serialized report lacks %q", key)
+		}
+	}
+	b := raw["benches"].([]any)[0].(map[string]any)
+	for _, key := range []string{"name", "value", "unit"} {
+		if _, ok := b[key]; !ok {
+			t.Errorf("serialized bench lacks %q", key)
+		}
+	}
+	if _, ok := b["extra"]; ok {
+		t.Error("empty extra should be omitted")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("Read of a missing file succeeded")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(bad); err == nil {
+		t.Error("Read of malformed JSON succeeded")
+	}
+}
+
+func TestCompareDirections(t *testing.T) {
+	base := report(
+		Bench{Name: "lat", Value: 100, Unit: "ns/op"},
+		Bench{Name: "speed", Value: 10, Unit: "x"},
+	)
+	cases := []struct {
+		name       string
+		fresh      Report
+		violations int
+	}{
+		{"identical", base, 0},
+		{"within-tolerance", report(
+			Bench{Name: "lat", Value: 109, Unit: "ns/op"},
+			Bench{Name: "speed", Value: 9.1, Unit: "x"}), 0},
+		{"latency-regressed", report(
+			Bench{Name: "lat", Value: 125, Unit: "ns/op"},
+			Bench{Name: "speed", Value: 10, Unit: "x"}), 1},
+		{"speedup-regressed", report(
+			Bench{Name: "lat", Value: 100, Unit: "ns/op"},
+			Bench{Name: "speed", Value: 5, Unit: "x"}), 1},
+		{"latency-improved-ok", report(
+			Bench{Name: "lat", Value: 10, Unit: "ns/op"},
+			Bench{Name: "speed", Value: 50, Unit: "x"}), 0},
+		{"missing-bench", report(
+			Bench{Name: "lat", Value: 100, Unit: "ns/op"}), 1},
+		{"unit-changed", report(
+			Bench{Name: "lat", Value: 100, Unit: "ms/op"},
+			Bench{Name: "speed", Value: 10, Unit: "x"}), 1},
+		{"both-regressed", report(
+			Bench{Name: "lat", Value: 200, Unit: "ns/op"},
+			Bench{Name: "speed", Value: 1, Unit: "x"}), 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Compare(base, tc.fresh, 10)
+			if len(got) != tc.violations {
+				t.Fatalf("Compare returned %d violations %v, want %d", len(got), got, tc.violations)
+			}
+		})
+	}
+}
+
+// TestCompareIgnoresNewBenches: benches only present in the fresh run
+// are not violations — they join the baseline when it regenerates.
+func TestCompareIgnoresNewBenches(t *testing.T) {
+	base := report(Bench{Name: "lat", Value: 100, Unit: "ns/op"})
+	fresh := report(
+		Bench{Name: "lat", Value: 100, Unit: "ns/op"},
+		Bench{Name: "brand-new", Value: 1, Unit: "ns/op"},
+	)
+	if got := Compare(base, fresh, 10); len(got) != 0 {
+		t.Fatalf("new bench flagged: %v", got)
+	}
+}

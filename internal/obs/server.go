@@ -76,6 +76,9 @@ type ServerConfig struct {
 	// and no Inspector is set (single-run mode). With an Inspector, the
 	// no-session /trace merges every session timeline instead.
 	Timeline func() *trace.Timeline
+	// Cache supplies schedule-cache counters for /metrics (the
+	// bt_schedcache_* families). Nil omits the families.
+	Cache func() CacheStats
 }
 
 // NewHandler builds the introspection HTTP handler:
@@ -181,6 +184,9 @@ func (cfg ServerConfig) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		pw.sample("bt_events_emitted_total", nil, float64(cfg.Stream.Total()))
 		pw.family("bt_events_dropped_total", "counter", "Events dropped by slow stream subscribers.")
 		pw.sample("bt_events_dropped_total", nil, float64(cfg.Stream.Dropped()))
+	}
+	if cfg.Cache != nil {
+		_ = PromCache(w, cfg.Cache())
 	}
 }
 

@@ -34,6 +34,7 @@ import (
 	"bettertogether/internal/profiler"
 	"bettertogether/internal/report"
 	"bettertogether/internal/sched"
+	"bettertogether/internal/schedcache"
 	"bettertogether/internal/soc"
 	"bettertogether/internal/trace"
 )
@@ -84,6 +85,22 @@ type Config struct {
 	// wave, tagged with the owning session's name. Pass an *obs.Stream to
 	// feed the introspection server's /events endpoint.
 	Events obs.Sink
+	// Cache, when non-nil, memoizes planning results across admissions
+	// and re-plans, keyed on a canonicalized (app fingerprint, device,
+	// quantized Env, planning knobs) tuple. Planning then runs against
+	// the cache's bucket-quantized environment, so a hit returns a
+	// schedule byte-identical to the cold solve it replaces (pinned by
+	// the equivalence suite); a miss warm-starts the solver from the
+	// session's previous schedule and stores the result. One cache may
+	// be shared across runtimes. Nil plans cold on every pass (the
+	// pre-cache behavior, bit-exact).
+	Cache *schedcache.Cache
+	// ReplanDelta, when positive, skips re-planning a resident whose
+	// projected environment moved less than this (L∞ over per-class
+	// MemIntensity) from the environment its current plan was solved
+	// against. The session still picks up the new environment for its
+	// next wave; only the solve is elided. 0 re-plans on every pass.
+	ReplanDelta float64
 }
 
 // Runtime is a long-lived multi-application execution context bound to
@@ -98,6 +115,7 @@ type Runtime struct {
 	resident map[int]*Session
 	history  []*Session
 	rejected int
+	skipped  int
 	closed   bool
 }
 
@@ -136,6 +154,17 @@ func (rt *Runtime) Device() *soc.Device { return rt.dev }
 // Engine returns the execution engine sessions run on.
 func (rt *Runtime) Engine() pipeline.Engine { return rt.eng }
 
+// Cache returns the schedule cache, nil when planning is uncached.
+func (rt *Runtime) Cache() *schedcache.Cache { return rt.cfg.Cache }
+
+// ReplansSkipped counts re-planning passes elided because the projected
+// environment delta stayed below Config.ReplanDelta.
+func (rt *Runtime) ReplansSkipped() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.skipped
+}
+
 // Admit plans the application against the current interference
 // environment, checks projected resource demand against the headroom
 // capacities, and — if accepted — starts a Session and re-plans every
@@ -156,7 +185,7 @@ func (rt *Runtime) Admit(app *core.Application, opts AdmitOptions) (*Session, er
 	opts = opts.withDefaults(app, rt.nextID)
 
 	env := rt.envLocked(nil)
-	plan, err := rt.planLocked(app, env, opts)
+	plan, err := rt.planLocked(app, env, opts, nil)
 	if err != nil {
 		return nil, fmt.Errorf("runtime: planning %q: %w", app.Name, err)
 	}
@@ -248,9 +277,29 @@ func (rt *Runtime) envLocked(except *Session) soc.Env {
 // application under the given external environment: profile both modes
 // with BaseEnv overlaid, optimize with the BetterTogether strategy, and
 // compile the winning schedule. A pinned schedule skips optimization.
-func (rt *Runtime) planLocked(app *core.Application, env soc.Env, opts AdmitOptions) (*pipeline.Plan, error) {
+//
+// With a schedule cache configured, the solve runs against the
+// bucket-quantized environment (the bucket's canonical representative),
+// so a later lookup under any environment in the same bucket returns a
+// schedule byte-identical to this cold solve. On a miss, warm seeds the
+// optimizer's incumbent set — provably result-neutral, it only
+// accelerates the prune — and the chosen schedule is stored.
+func (rt *Runtime) planLocked(app *core.Application, env soc.Env, opts AdmitOptions, warm []core.Schedule) (*pipeline.Plan, error) {
 	if opts.Schedule != nil {
 		return pipeline.NewPlan(app, rt.dev, *opts.Schedule)
+	}
+	var key string
+	if c := rt.cfg.Cache; c != nil {
+		env = schedcache.QuantizeEnv(env, c.Bucket())
+		key = schedcache.Key(schedcache.Fingerprint(app), rt.dev.Name, env, c.Bucket(), schedcache.Knobs{
+			ProfileReps:   rt.cfg.ProfileReps,
+			AutotuneTasks: rt.cfg.AutotuneTasks,
+			K:             rt.cfg.K,
+			Seed:          rt.cfg.Seed + opts.Seed,
+		})
+		if sc, ok := c.Get(key); ok {
+			return pipeline.NewPlan(app, rt.dev, sc)
+		}
 	}
 	tables := profiler.ProfileBoth(app, rt.dev, profiler.Config{
 		Reps:    rt.cfg.ProfileReps,
@@ -259,6 +308,7 @@ func (rt *Runtime) planLocked(app *core.Application, env soc.Env, opts AdmitOpti
 	})
 	opt := sched.New(app, rt.dev, tables)
 	opt.K = rt.cfg.K
+	opt.WarmStart = warm
 	_, _, best, err := opt.Optimize(sched.BetterTogether, pipeline.Options{
 		Tasks:   rt.cfg.AutotuneTasks,
 		Warmup:  2,
@@ -268,14 +318,24 @@ func (rt *Runtime) planLocked(app *core.Application, env soc.Env, opts AdmitOpti
 	if err != nil {
 		return nil, err
 	}
+	if rt.cfg.Cache != nil {
+		rt.cfg.Cache.Put(key, best.Schedule)
+	}
 	return pipeline.NewPlan(app, rt.dev, best.Schedule)
 }
 
 // replanLocked re-plans every resident session other than except against
 // the updated environment — the interference-aware reaction to admission
-// churn. Pinned sessions only get the environment update; a session
-// whose re-planning fails keeps its old plan (the old schedule is still
-// valid, only the environment shifted).
+// churn. Pinned sessions (AdmitOptions.Schedule != nil) are NEVER
+// re-planned: they only get the environment update, even when a
+// configured schedule cache could supply a plan for the new environment
+// — the pin is a caller contract, not a planning shortcut (pinned by
+// test with a cache enabled). When the projected environment delta stays
+// below Config.ReplanDelta, the solve is skipped entirely and only the
+// environment lands. A session whose re-planning fails keeps its old
+// plan (the old schedule is still valid, only the environment shifted);
+// otherwise the solve is warm-started from the session's current
+// schedule so the cache-miss path prunes aggressively.
 func (rt *Runtime) replanLocked(except *Session) {
 	for _, id := range rt.residentIDs() {
 		s := rt.resident[id]
@@ -287,7 +347,12 @@ func (rt *Runtime) replanLocked(except *Session) {
 			s.setEnv(env)
 			continue
 		}
-		plan, err := rt.planLocked(s.app, env, s.opts)
+		if d := rt.cfg.ReplanDelta; d > 0 && s.planEnvSnapshot().Delta(env) < d {
+			rt.skipped++
+			s.setEnv(env)
+			continue
+		}
+		plan, err := rt.planLocked(s.app, env, s.opts, []core.Schedule{s.Schedule()})
 		if err != nil {
 			s.setEnv(env)
 			continue

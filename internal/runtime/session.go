@@ -90,9 +90,14 @@ type Session struct {
 	cancel context.CancelFunc
 	done   chan struct{}
 
-	mu        sync.Mutex
-	plan      *pipeline.Plan
-	env       soc.Env
+	mu   sync.Mutex
+	plan *pipeline.Plan
+	env  soc.Env
+	// planEnv is the environment the current plan was solved against;
+	// unlike env it does not move on delta-skipped or failed re-plans,
+	// so the runtime's ReplanDelta comparison measures cumulative drift
+	// since the last actual solve rather than per-churn increments.
+	planEnv   soc.Env
 	replans   int
 	schedules []core.Schedule
 
@@ -118,7 +123,7 @@ func newSession(rt *Runtime, id int, app *core.Application, opts AdmitOptions, p
 	return &Session{
 		id: id, rt: rt, app: app, opts: opts,
 		ctx: ctx, cancel: cancel, done: make(chan struct{}),
-		plan: plan, env: env,
+		plan: plan, env: env, planEnv: env,
 		schedules: []core.Schedule{plan.Schedule},
 	}
 }
@@ -260,7 +265,16 @@ func (s *Session) setPlan(p *pipeline.Plan, env soc.Env) bool {
 	}
 	s.plan = p
 	s.env = env
+	s.planEnv = env
 	return changed
+}
+
+// planEnvSnapshot returns the environment the current plan was solved
+// against (the baseline of the runtime's delta-skip comparison).
+func (s *Session) planEnvSnapshot() soc.Env {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.planEnv
 }
 
 // setEnv updates only the environment (pinned-schedule sessions, or

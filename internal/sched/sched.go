@@ -141,6 +141,16 @@ type Optimizer struct {
 	// given. Every candidate run is seed-deterministic and independent,
 	// so the measured results are identical at any worker count.
 	Workers int
+	// WarmStart seeds the top-K search's incumbent set with previously
+	// chosen schedules (e.g. a session's schedule before admission
+	// churn), so the latency prune bites from the first branch. Seeding
+	// never changes the candidate set — only the prune rate (pinned by
+	// property test); schedules that do not fit the table (wrong length,
+	// unknown class) or violate the constraints are silently ignored.
+	WarmStart []core.Schedule
+	// Search, when non-nil, receives the most recent Candidates call's
+	// search counters (reset per call).
+	Search *solver.SearchStats
 }
 
 // New builds an optimizer with defaults.
@@ -204,6 +214,40 @@ func toSchedule(t *core.ProfileTable, assign []int) core.Schedule {
 	return s
 }
 
+// seeds maps the warm-start schedules onto the table's class columns.
+// Schedules that do not fit (wrong stage count, class the table lacks)
+// are dropped; feasibility against the constraint system is the
+// solver's job.
+func (o *Optimizer) seeds(t *core.ProfileTable) [][]int {
+	if len(o.WarmStart) == 0 {
+		return nil
+	}
+	col := make(map[core.PUClass]int, len(t.PUs))
+	for j, pu := range t.PUs {
+		col[pu] = j
+	}
+	var out [][]int
+	for _, s := range o.WarmStart {
+		if len(s.Assign) != len(t.Stages) {
+			continue
+		}
+		a := make([]int, len(s.Assign))
+		ok := true
+		for i, c := range s.Assign {
+			j, found := col[c]
+			if !found {
+				ok = false
+				break
+			}
+			a[i] = j
+		}
+		if ok {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
 // Candidates runs optimization levels one and two for the strategy,
 // returning up to K schedules ranked by predicted latency.
 func (o *Optimizer) Candidates(strategy Strategy) []Candidate {
@@ -224,9 +268,9 @@ func (o *Optimizer) Candidates(strategy Strategy) []Candidate {
 		// are pruned. Ranking is by predicted latency; distinctness comes
 		// free (each assignment appears once), which is what the blocking
 		// clauses guarantee in the paper.
-		pool := solver.TopKFiltered(prob, solver.Constraints{}, o.k(), func(s solver.Solution) bool {
+		pool := solver.TopKFilteredSeeded(prob, solver.Constraints{}, o.k(), func(s solver.Solution) bool {
 			return s.Gap() <= gapCut || s.Gap() <= slack*s.TMax
-		})
+		}, o.seeds(tab), o.Search)
 		out := make([]Candidate, len(pool))
 		for i, s := range pool {
 			out[i] = Candidate{Schedule: toSchedule(tab, s.Assign), Predicted: s.TMax, Gap: s.Gap()}
@@ -235,7 +279,7 @@ func (o *Optimizer) Candidates(strategy Strategy) []Candidate {
 	}
 
 	// Baseline strategies: latency-only top-K, no utilization filter.
-	sols := solver.TopKByLatency(prob, solver.Constraints{}, o.k())
+	sols := solver.TopKFilteredSeeded(prob, solver.Constraints{}, o.k(), nil, o.seeds(tab), o.Search)
 	out := make([]Candidate, len(sols))
 	for i, s := range sols {
 		out[i] = Candidate{Schedule: toSchedule(tab, s.Assign), Predicted: s.TMax, Gap: s.Gap()}

@@ -1,0 +1,140 @@
+package sched
+
+import (
+	"testing"
+
+	"bettertogether/internal/apps/alexnet"
+	"bettertogether/internal/apps/octree"
+	"bettertogether/internal/core"
+	"bettertogether/internal/pipeline"
+	"bettertogether/internal/profiler"
+	"bettertogether/internal/soc"
+	"bettertogether/internal/solver"
+)
+
+// warmMatrix spans the solver strategy matrix over two applications and
+// two devices — the golden grid the cold-vs-warm identity is pinned on.
+func warmMatrix() (apps []*core.Application, devs []*soc.Device) {
+	apps = []*core.Application{
+		octree.NewApplication(8192, octree.UniformGen{}),
+		alexnet.NewSparse(alexnet.DefaultSeed, 2),
+	}
+	devs = []*soc.Device{soc.NewPixel7a(), soc.NewJetson()}
+	return
+}
+
+func candidatesEqual(a, b []Candidate) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Schedule.Equal(b[i].Schedule) ||
+			a[i].Predicted != b[i].Predicted || a[i].Gap != b[i].Gap {
+			return false
+		}
+	}
+	return true
+}
+
+// TestWarmStartCandidatesIdentical is the golden equivalence pin of the
+// cache's miss path: across the full strategy matrix, warm-starting the
+// optimizer with its own winners (or garbage) returns a candidate list
+// byte-identical to the cold run's.
+func TestWarmStartCandidatesIdentical(t *testing.T) {
+	apps, devs := warmMatrix()
+	for _, app := range apps {
+		for _, dev := range devs {
+			tabs := profiler.ProfileBoth(app, dev, profiler.Config{Reps: 6, Seed: 3})
+			for _, strat := range []Strategy{BetterTogether, LatencyOnlyHeavy, LatencyOnlyIsolated} {
+				cold := New(app, dev, tabs)
+				cold.K = 8
+				want := cold.Candidates(strat)
+				if len(want) == 0 {
+					t.Fatalf("%s/%s/%v: no candidates", app.Name, dev.Name, strat)
+				}
+
+				warm := New(app, dev, tabs)
+				warm.K = 8
+				warm.Search = &solver.SearchStats{}
+				warm.WarmStart = []core.Schedule{
+					want[0].Schedule,                                // the winner itself
+					want[len(want)-1].Schedule,                      // the worst kept candidate
+					{Assign: []core.PUClass{}},                      // wrong length: dropped
+					{Assign: make([]core.PUClass, len(app.Stages))}, // unknown ("") class: dropped
+				}
+				got := warm.Candidates(strat)
+				if !candidatesEqual(want, got) {
+					t.Errorf("%s/%s/%v: warm-started candidates diverge from cold",
+						app.Name, dev.Name, strat)
+				}
+				if warm.Search.Seeded == 0 {
+					t.Errorf("%s/%s/%v: no seed accepted despite valid warm schedules",
+						app.Name, dev.Name, strat)
+				}
+			}
+		}
+	}
+}
+
+// TestWarmStartOptimizeIdentical extends the identity through level
+// three: the full Optimize pipeline (autotuning included) picks the same
+// schedule cold and warm.
+func TestWarmStartOptimizeIdentical(t *testing.T) {
+	apps, devs := warmMatrix()
+	opts := pipeline.Options{Tasks: 8, Warmup: 1, Seed: 5}
+	for _, app := range apps {
+		for _, dev := range devs {
+			tabs := profiler.ProfileBoth(app, dev, profiler.Config{Reps: 6, Seed: 3})
+			for _, strat := range []Strategy{BetterTogether, LatencyOnlyHeavy, LatencyOnlyIsolated} {
+				cold := New(app, dev, tabs)
+				cold.K = 6
+				_, _, wantBest, err := cold.Optimize(strat, opts)
+				if err != nil {
+					t.Fatalf("%s/%s/%v: cold: %v", app.Name, dev.Name, strat, err)
+				}
+
+				warm := New(app, dev, tabs)
+				warm.K = 6
+				warm.WarmStart = []core.Schedule{wantBest.Schedule}
+				_, _, gotBest, err := warm.Optimize(strat, opts)
+				if err != nil {
+					t.Fatalf("%s/%s/%v: warm: %v", app.Name, dev.Name, strat, err)
+				}
+				if !gotBest.Schedule.Equal(wantBest.Schedule) || gotBest.Predicted != wantBest.Predicted {
+					t.Errorf("%s/%s/%v: warm Optimize chose %s (%.9f), cold chose %s (%.9f)",
+						app.Name, dev.Name, strat,
+						gotBest.Schedule, gotBest.Predicted,
+						wantBest.Schedule, wantBest.Predicted)
+				}
+			}
+		}
+	}
+}
+
+// TestSeedsMapping pins the schedule-to-column translation: classes map
+// to the table's column indices, unmappable schedules drop out.
+func TestSeedsMapping(t *testing.T) {
+	o := pixelOctreeOptimizer(t)
+	tab := o.Tables.Heavy
+	n := len(tab.Stages)
+
+	uniform := core.NewUniformSchedule(n, tab.PUs[0])
+	o.WarmStart = []core.Schedule{
+		uniform,
+		{Assign: make([]core.PUClass, n-1)}, // wrong length
+		core.NewUniformSchedule(n, core.PUClass("no-such-pu")), // unknown class
+	}
+	seeds := o.seeds(tab)
+	if len(seeds) != 1 {
+		t.Fatalf("seeds = %d, want exactly the mappable one", len(seeds))
+	}
+	for i, c := range seeds[0] {
+		if c != 0 {
+			t.Fatalf("seed[%d] = %d, want column 0 for class %s", i, c, tab.PUs[0])
+		}
+	}
+	o.WarmStart = nil
+	if o.seeds(tab) != nil {
+		t.Fatal("empty WarmStart produced seeds")
+	}
+}

@@ -1,6 +1,10 @@
 package soc
 
-import "bettertogether/internal/core"
+import (
+	"math"
+
+	"bettertogether/internal/core"
+)
 
 // Clone returns an independent copy of the environment. A nil receiver
 // clones to an empty, non-nil Env, so callers can overlay onto it.
@@ -32,4 +36,28 @@ func (e Env) Overlay(other Env) Env {
 		out.Add(c, other[c])
 	}
 	return out
+}
+
+// Delta returns the L∞ distance between two environments: the largest
+// absolute per-class MemIntensity difference over the union of their
+// classes (an absent class counts as zero load). Either side may be
+// nil. The runtime's incremental re-planner compares this against its
+// skip threshold to decide whether churn moved the environment enough
+// to justify a new solve.
+func (e Env) Delta(other Env) float64 {
+	d := 0.0
+	for c, l := range e {
+		if diff := math.Abs(l.MemIntensity - other[c].MemIntensity); diff > d {
+			d = diff
+		}
+	}
+	for c, l := range other {
+		if _, ok := e[c]; ok {
+			continue
+		}
+		if diff := math.Abs(l.MemIntensity); diff > d {
+			d = diff
+		}
+	}
+	return d
 }

@@ -339,22 +339,7 @@ type FilterFunc func(Solution) bool
 // incumbent whether the filter admits it or not. A nil filter admits
 // everything.
 func TopKFiltered(p *Problem, cons Constraints, k int, filter FilterFunc) []Solution {
-	if k <= 0 {
-		return nil
-	}
-	top := &topKHeap{k: k}
-	_ = Enumerate(p, cons,
-		func(stage int, closedMax, closedMin, curSum float64) bool {
-			return math.Max(closedMax, curSum) > top.bound()
-		},
-		func(s Solution) bool {
-			if filter != nil && !filter(s) {
-				return true
-			}
-			top.offer(s)
-			return true
-		})
-	return top.sorted()
+	return TopKFilteredSeeded(p, cons, k, filter, nil, nil)
 }
 
 // TopKByLatency returns up to k feasible assignments with the smallest

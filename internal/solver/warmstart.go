@@ -1,0 +1,151 @@
+package solver
+
+import "math"
+
+// Evaluate scores one complete assignment against the problem: it
+// recomputes the chunk decomposition and verifies the full constraint
+// system — C1 by construction of the vector, C2 contiguity (a class
+// never reopens), C3a/C3b chunk-runtime bounds, and the blocking set.
+// ok is false for malformed or infeasible assignments. The returned
+// Solution is exactly what Enumerate would have visited for the same
+// assignment, which is what lets warm-start seeds enter the incumbent
+// heap without perturbing the result set.
+func Evaluate(p *Problem, cons Constraints, assign []int) (Solution, bool) {
+	if err := p.Validate(); err != nil || len(assign) != p.N {
+		return Solution{}, false
+	}
+	cur := assign[0]
+	if cur < 0 || cur >= p.M {
+		return Solution{}, false
+	}
+	usedMask := 1 << cur
+	curSum := p.Time[0][cur]
+	chunkTimes := make([]float64, 0, p.M)
+	for i := 1; i < p.N; i++ {
+		c := assign[i]
+		if c < 0 || c >= p.M {
+			return Solution{}, false
+		}
+		if c == cur {
+			curSum += p.Time[i][c]
+			continue
+		}
+		if usedMask&(1<<c) != 0 {
+			return Solution{}, false // C2: class reopened
+		}
+		chunkTimes = append(chunkTimes, curSum)
+		usedMask |= 1 << c
+		cur, curSum = c, p.Time[i][c]
+	}
+	chunkTimes = append(chunkTimes, curSum)
+	tmax, tmin := chunkTimes[0], chunkTimes[0]
+	for _, t := range chunkTimes {
+		if cons.ChunkMax != 0 && t > cons.ChunkMax {
+			return Solution{}, false
+		}
+		if cons.ChunkMin != 0 && t < cons.ChunkMin {
+			return Solution{}, false
+		}
+		tmax = math.Max(tmax, t)
+		tmin = math.Min(tmin, t)
+	}
+	if cons.Blocked != nil && cons.Blocked[Key(assign)] {
+		return Solution{}, false
+	}
+	return Solution{
+		Assign:     append([]int(nil), assign...),
+		ChunkTimes: chunkTimes,
+		TMax:       tmax,
+		TMin:       tmin,
+	}, true
+}
+
+// SearchStats counts one top-K query's search effort. Seeding shrinks
+// Visited and grows Pruned — the incumbent latency bound bites from the
+// first branch instead of only after k solutions have streamed through —
+// while the returned solution set is provably unchanged (pinned by
+// property test).
+type SearchStats struct {
+	// Seeded counts warm-start assignments accepted as initial
+	// incumbents (feasible, filter-passing, distinct).
+	Seeded int
+	// Visited counts complete feasible solutions reached by the
+	// enumeration (before filtering).
+	Visited int
+	// Pruned counts subtrees abandoned by the incumbent latency bound.
+	Pruned int
+}
+
+// TopKFilteredSeeded is TopKFiltered with a warm-started incumbent set:
+// each seed assignment is evaluated against the full constraint system
+// and, when feasible and filter-passing, offered to the bounded
+// incumbent heap *before* enumeration begins, so the latency prune has
+// a finite bound from the first branch. Seeds never change the result —
+// only the prune rate:
+//
+//   - an infeasible or filtered seed is ignored;
+//   - a feasible seed is, by Evaluate's construction, exactly the
+//     Solution the enumeration itself would visit for that assignment,
+//     and is skipped when the enumeration reaches it (no duplicates);
+//   - the prune (partial bottleneck strictly above the k-th incumbent's
+//     TMax) only discards branches whose every completion the full heap
+//     would reject under the same total (TMax, Key) order.
+//
+// Hence the returned set is byte-identical to the unseeded query's
+// (pinned by property test across random problems and seeds). stats,
+// when non-nil, is reset and filled with the query's search counters.
+func TopKFilteredSeeded(p *Problem, cons Constraints, k int, filter FilterFunc, seeds [][]int, stats *SearchStats) []Solution {
+	if stats != nil {
+		*stats = SearchStats{}
+	}
+	if k <= 0 {
+		return nil
+	}
+	top := &topKHeap{k: k}
+	var seeded map[string]bool
+	for _, a := range seeds {
+		sol, ok := Evaluate(p, cons, a)
+		if !ok {
+			continue
+		}
+		if filter != nil && !filter(sol) {
+			continue
+		}
+		key := Key(sol.Assign)
+		if seeded[key] {
+			continue
+		}
+		if seeded == nil {
+			seeded = map[string]bool{}
+		}
+		seeded[key] = true
+		top.offer(sol)
+		if stats != nil {
+			stats.Seeded++
+		}
+	}
+	_ = Enumerate(p, cons,
+		func(stage int, closedMax, closedMin, curSum float64) bool {
+			if math.Max(closedMax, curSum) > top.bound() {
+				if stats != nil {
+					stats.Pruned++
+				}
+				return true
+			}
+			return false
+		},
+		func(s Solution) bool {
+			if stats != nil {
+				stats.Visited++
+			}
+			if seeded != nil && seeded[Key(s.Assign)] {
+				return true // already offered as a seed
+			}
+			if filter != nil && !filter(s) {
+				return true
+			}
+			top.offer(s)
+			return true
+		})
+	return top.sorted()
+}

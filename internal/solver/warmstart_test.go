@@ -1,0 +1,226 @@
+package solver
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomProblem draws a well-formed instance with latencies in (0.1, 1.1).
+func randomProblem(rng *rand.Rand) *Problem {
+	n := 3 + rng.Intn(5)
+	m := 2 + rng.Intn(3)
+	p := &Problem{N: n, M: m, Time: make([][]float64, n)}
+	for i := range p.Time {
+		p.Time[i] = make([]float64, m)
+		for j := range p.Time[i] {
+			p.Time[i][j] = 0.1 + rng.Float64()
+		}
+	}
+	return p
+}
+
+// solutionsEqual compares two result sets including chunk metrics.
+func solutionsEqual(a, b []Solution) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !reflect.DeepEqual(a[i].Assign, b[i].Assign) ||
+			!reflect.DeepEqual(a[i].ChunkTimes, b[i].ChunkTimes) ||
+			a[i].TMax != b[i].TMax || a[i].TMin != b[i].TMin {
+			return false
+		}
+	}
+	return true
+}
+
+// TestEvaluateMatchesEnumerate pins Evaluate's contract: for every
+// assignment the enumeration visits, Evaluate reproduces the identical
+// Solution; that identity is what makes seeds safe to offer to the
+// incumbent heap.
+func TestEvaluateMatchesEnumerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		p := randomProblem(rng)
+		cons := Constraints{}
+		if trial%3 == 1 {
+			cons.ChunkMax = 1.5
+		}
+		if trial%3 == 2 {
+			cons.ChunkMin = 0.2
+		}
+		if err := Enumerate(p, cons, nil, func(s Solution) bool {
+			got, ok := Evaluate(p, cons, s.Assign)
+			if !ok {
+				t.Fatalf("Evaluate rejected enumerated assignment %v", s.Assign)
+			}
+			if !solutionsEqual([]Solution{got}, []Solution{s}) {
+				t.Fatalf("Evaluate(%v) = %+v, Enumerate visited %+v", s.Assign, got, s)
+			}
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestEvaluateRejectsInvalid(t *testing.T) {
+	p := &Problem{N: 4, M: 3, Time: [][]float64{
+		{1, 2, 3}, {2, 1, 3}, {3, 2, 1}, {1, 1, 1},
+	}}
+	cases := []struct {
+		name   string
+		cons   Constraints
+		assign []int
+	}{
+		{"wrong-length", Constraints{}, []int{0, 1}},
+		{"class-out-of-range", Constraints{}, []int{0, 3, 0, 0}},
+		{"negative-class", Constraints{}, []int{0, -1, 0, 0}},
+		{"c2-reopened", Constraints{}, []int{0, 1, 0, 0}},
+		{"c3a-chunk-too-long", Constraints{ChunkMax: 2.5}, []int{0, 0, 0, 0}},
+		{"c3b-chunk-too-short", Constraints{ChunkMin: 1.5}, []int{0, 0, 0, 2}},
+		{"blocked", Constraints{Blocked: map[string]bool{"0,0,0,0": true}}, []int{0, 0, 0, 0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, ok := Evaluate(p, tc.cons, tc.assign); ok {
+				t.Fatalf("Evaluate accepted %v under %+v", tc.assign, tc.cons)
+			}
+		})
+	}
+	if _, ok := Evaluate(p, Constraints{}, []int{0, 0, 0, 1}); !ok {
+		t.Fatal("Evaluate rejected a feasible assignment")
+	}
+}
+
+// TestSeedingNeverChangesResults is the warm-start equivalence property
+// the schedule cache's miss path leans on: for random problems, random k
+// and ANY seed set — feasible assignments, infeasible garbage, or
+// duplicates — the seeded query returns byte-identical results to the
+// unseeded one. Only the search effort may differ.
+func TestSeedingNeverChangesResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	gapFilter := func(s Solution) bool { return s.Gap() <= 0.6*s.TMax }
+	for trial := 0; trial < 60; trial++ {
+		p := randomProblem(rng)
+		k := 1 + rng.Intn(8)
+		var filter FilterFunc
+		if trial%2 == 1 {
+			filter = gapFilter
+		}
+
+		// Collect the feasible pool once to draw realistic seeds from.
+		var pool [][]int
+		_ = Enumerate(p, Constraints{}, nil, func(s Solution) bool {
+			pool = append(pool, s.Assign)
+			return true
+		})
+		var seeds [][]int
+		for s := 0; s < rng.Intn(4); s++ {
+			seeds = append(seeds, pool[rng.Intn(len(pool))])
+		}
+		// Adversarial seeds: garbage length, out-of-range class, C2
+		// violation, and a duplicate of the first seed.
+		seeds = append(seeds, []int{0}, []int{p.M, 0, 0}, nil)
+		if len(seeds) > 3 {
+			seeds = append(seeds, seeds[0])
+		}
+
+		want := TopKFiltered(p, Constraints{}, k, filter)
+		var stats SearchStats
+		got := TopKFilteredSeeded(p, Constraints{}, k, filter, seeds, &stats)
+		if !solutionsEqual(want, got) {
+			t.Fatalf("trial %d: seeded result diverged\nseeds: %v\nwant: %+v\ngot:  %+v",
+				trial, seeds, want, got)
+		}
+	}
+}
+
+// TestSeedingOnlyImprovesPruning pins the point of warm-starting: with
+// the eventual winner as seed, the enumeration visits no more complete
+// solutions than the cold query (the incumbent bound bites earlier), and
+// the seed is counted.
+func TestSeedingOnlyImprovesPruning(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 30; trial++ {
+		p := randomProblem(rng)
+		k := 1 + rng.Intn(4)
+		var cold SearchStats
+		want := TopKFilteredSeeded(p, Constraints{}, k, nil, nil, &cold)
+		if len(want) == 0 {
+			t.Fatal("no feasible solutions for a well-formed problem")
+		}
+		var warm SearchStats
+		got := TopKFilteredSeeded(p, Constraints{}, k, nil, [][]int{want[0].Assign}, &warm)
+		if !solutionsEqual(want, got) {
+			t.Fatalf("trial %d: warm result diverged", trial)
+		}
+		if warm.Seeded != 1 {
+			t.Fatalf("trial %d: Seeded = %d, want 1", trial, warm.Seeded)
+		}
+		if warm.Visited > cold.Visited {
+			t.Fatalf("trial %d: warm Visited %d > cold Visited %d — seeding made the search slower",
+				trial, warm.Visited, cold.Visited)
+		}
+	}
+}
+
+// TestSeededStatsReset pins that a reused stats struct is reset per call.
+func TestSeededStatsReset(t *testing.T) {
+	p := simpleProblem()
+	stats := SearchStats{Seeded: 99, Visited: 99, Pruned: 99}
+	_ = TopKFilteredSeeded(p, Constraints{}, 2, nil, nil, &stats)
+	if stats.Seeded != 0 || stats.Visited == 99 || stats.Visited == 0 {
+		t.Fatalf("stats not reset/refilled: %+v", stats)
+	}
+}
+
+// TestTopKFilteredDelegates pins that the unseeded entry point is the
+// seeded one with no seeds — one search implementation, not two.
+func TestTopKFilteredDelegates(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		p := randomProblem(rng)
+		if !solutionsEqual(TopKFiltered(p, Constraints{}, 5, nil),
+			TopKFilteredSeeded(p, Constraints{}, 5, nil, nil, nil)) {
+			t.Fatal("TopKFiltered and TopKFilteredSeeded(nil seeds) diverge")
+		}
+	}
+}
+
+// TestSeededRespectsBlockedAndBounds checks seeds interact correctly with
+// the constraint system: a blocked seed is ignored, and seeded queries
+// under chunk bounds still match their unseeded twins.
+func TestSeededRespectsBlockedAndBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		p := randomProblem(rng)
+		all := TopKFiltered(p, Constraints{}, 3, nil)
+		if len(all) == 0 {
+			continue
+		}
+		cons := Constraints{
+			ChunkMax: all[0].TMax * 1.5,
+			Blocked:  map[string]bool{Key(all[0].Assign): true},
+		}
+		want := TopKFiltered(p, cons, 3, nil)
+		var stats SearchStats
+		got := TopKFilteredSeeded(p, cons, 3, nil, [][]int{all[0].Assign}, &stats)
+		if !solutionsEqual(want, got) {
+			t.Fatalf("trial %d: blocked-seed query diverged", trial)
+		}
+		for _, s := range got {
+			if cons.Blocked[Key(s.Assign)] {
+				t.Fatalf("trial %d: blocked assignment %v returned", trial, s.Assign)
+			}
+		}
+	}
+}
+
+func TestTopKFilteredSeededZeroK(t *testing.T) {
+	p := simpleProblem()
+	if got := TopKFilteredSeeded(p, Constraints{}, 0, nil, [][]int{{0, 0, 0}}, nil); got != nil {
+		t.Fatalf("k=0 returned %v", got)
+	}
+}
