@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e0, table1, table2, fig1, table3, fig4, fig5, fig6, table4, fig7, abl-dp, abl-k, abl-buffers, abl-reps, ext-energy, churn, all)")
+	exp := flag.String("exp", "all", "experiment id (e0, table1, table2, fig1, table3, fig4, fig5, fig6, table4, fig7, abl-dp, abl-k, abl-buffers, abl-reps, ext-energy, churn, fleet, all)")
 	parallel := flag.Bool("parallel", false, "fan experiment grids across GOMAXPROCS-bounded workers (deterministic: output matches the serial run)")
 	timing := flag.Bool("time", false, "report per-experiment and total wall-clock to stderr")
 	listen := flag.String("listen", "", "serve liveness, pprof and per-experiment progress events over HTTP while the suite runs")
@@ -232,6 +232,15 @@ func run(s *experiments.Suite, id string, churn churnOpts) error {
 			return err
 		}
 		fmt.Print(body)
+	case "fleet":
+		// Deterministic like the rest of the suite (seeded trace, virtual
+		// time), but kept out of -exp all to hold the bench-suite golden
+		// stable; run it explicitly or via cmd/btfleet.
+		out, err := experiments.FleetReplay(experiments.FleetReplayConfig{Seed: 1})
+		if err != nil {
+			return err
+		}
+		fmt.Print(report.Section("Fleet replay", out.Render()))
 	default:
 		return fmt.Errorf("unknown experiment %q", id)
 	}

@@ -24,6 +24,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strings"
 	"sync"
@@ -94,6 +95,22 @@ func main() {
 	cacheBucket := flag.Float64("cache-bucket", 0, "multi-app: cache Env quantization bucket width (0 = default)")
 	replanDelta := flag.Float64("replan-delta", 0, "multi-app: skip re-planning a resident whose Env moved less than this since its last solve (0 = always re-plan)")
 	flag.Parse()
+
+	// Fail fast on nonsensical cache/replan knobs: a negative capacity
+	// would silently disable the cache, a negative bucket would fall back
+	// to the default width behind the user's back, and a negative (or
+	// NaN) delta would make every Env.Delta comparison vacuous — each a
+	// quiet mis-scheduling mode rather than an error the user sees.
+	if *cacheCap < 0 {
+		cli.Fatalf("btrun", "-sched-cache must be >= 0 (0 disables the cache), got %d", *cacheCap)
+	}
+	if *cacheBucket < 0 || math.IsNaN(*cacheBucket) || math.IsInf(*cacheBucket, 0) {
+		cli.Fatalf("btrun", "-cache-bucket must be a finite value >= 0 (0 selects the default %g), got %v",
+			schedcache.DefaultBucket, *cacheBucket)
+	}
+	if *replanDelta < 0 || math.IsNaN(*replanDelta) || math.IsInf(*replanDelta, 0) {
+		cli.Fatalf("btrun", "-replan-delta must be a finite value >= 0 (0 re-plans on every pass), got %v", *replanDelta)
+	}
 
 	if len(apps) == 0 {
 		apps = multiFlag{"octree"}

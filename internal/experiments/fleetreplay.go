@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"bettertogether/internal/fleet"
+	"bettertogether/internal/obs"
+	"bettertogether/internal/report"
+)
+
+// FleetReplayConfig parameterizes the fleet-scale placement experiment:
+// a seeded arrival trace replayed over a registry of simulated devices.
+type FleetReplayConfig struct {
+	// Nodes is the registry spec ("" selects one pixel7a, one oneplus11
+	// and one jetson — the heterogeneous 3-node default).
+	Nodes []fleet.NodeSpec
+	// Trace, when non-empty, is replayed as-is and Gen is ignored.
+	Trace fleet.Trace
+	// Gen generates the trace when Trace is empty. Zero-valued fields
+	// pick the canonical defaults: a bursty 12-arrival octree/alexnet mix.
+	Gen fleet.GenConfig
+	// BWHeadroom, CoreHeadroom, ReplanDelta, CacheCapacity, CacheBucket
+	// and Affinity forward to fleet.Config.
+	BWHeadroom    float64
+	CoreHeadroom  float64
+	ReplanDelta   float64
+	CacheCapacity int
+	CacheBucket   float64
+	Affinity      map[string]string
+	// Seed drives the node runtimes' noise streams.
+	Seed int64
+	// Events forwards to fleet.Config.Events.
+	Events obs.Sink
+}
+
+func (c FleetReplayConfig) withDefaults() FleetReplayConfig {
+	if len(c.Nodes) == 0 {
+		c.Nodes = []fleet.NodeSpec{
+			{Device: "pixel7a", Count: 1},
+			{Device: "oneplus11", Count: 1},
+			{Device: "jetson", Count: 1},
+		}
+	}
+	if len(c.Trace.Arrivals) == 0 {
+		if c.Gen.Pattern == "" {
+			c.Gen.Pattern = fleet.PatternBursty
+		}
+		if c.Gen.Arrivals <= 0 {
+			c.Gen.Arrivals = 12
+		}
+		if c.Gen.Burst <= 0 {
+			c.Gen.Burst = 3
+		}
+		if c.Gen.BurstEvery <= 0 {
+			c.Gen.BurstEvery = 40
+		}
+		if len(c.Gen.Apps) == 0 {
+			c.Gen.Apps = []string{"octree", "alexnet-sparse"}
+		}
+		if c.Gen.MeanDwell <= 0 {
+			c.Gen.MeanDwell = 5
+		}
+		if c.Gen.Tasks <= 0 {
+			c.Gen.Tasks = 4
+		}
+		if c.Gen.Seed == 0 {
+			c.Gen.Seed = c.Seed
+		}
+	}
+	return c
+}
+
+// FleetReplayOutcome is the experiment's result: the replay aggregate,
+// the fleet's exported stats after the run, and the trace that was
+// replayed (generated or supplied).
+type FleetReplayOutcome struct {
+	Result fleet.ReplayResult
+	Stats  obs.FleetStats
+	Trace  fleet.Trace
+}
+
+// FleetReplay builds a fleet from the config, replays the trace in
+// logical-time lockstep, and tears the fleet down. The same config
+// yields a byte-identical outcome on every run.
+func FleetReplay(cfg FleetReplayConfig) (FleetReplayOutcome, error) {
+	cfg = cfg.withDefaults()
+	out := FleetReplayOutcome{Trace: cfg.Trace}
+	if len(out.Trace.Arrivals) == 0 {
+		tr, err := fleet.Generate(cfg.Gen)
+		if err != nil {
+			return out, err
+		}
+		out.Trace = tr
+	}
+	f, err := fleet.New(fleet.Config{
+		Nodes:         cfg.Nodes,
+		Seed:          cfg.Seed,
+		BWHeadroom:    cfg.BWHeadroom,
+		CoreHeadroom:  cfg.CoreHeadroom,
+		ReplanDelta:   cfg.ReplanDelta,
+		CacheCapacity: cfg.CacheCapacity,
+		CacheBucket:   cfg.CacheBucket,
+		Affinity:      cfg.Affinity,
+		Events:        cfg.Events,
+	})
+	if err != nil {
+		return out, err
+	}
+	defer f.Close()
+	out.Result, err = f.Replay(out.Trace)
+	if err != nil {
+		return out, err
+	}
+	out.Stats = f.Stats()
+	return out, nil
+}
+
+// Render lays the outcome out as the btfleet/btbench report: every
+// placement decision in trace order, the per-node routing split, and
+// the fleet-wide summary with rejection rate and latency quantiles.
+func (o FleetReplayOutcome) Render() string {
+	var b strings.Builder
+
+	placements := report.NewTable("Placement decisions", "#", "t(s)", "app", "node", "choice", "latency(s)")
+	for _, r := range o.Result.Records {
+		node, choice, lat := r.Node, fmt.Sprintf("%d", r.Choice), report.F4(r.Elapsed)
+		if r.Rejected {
+			node, choice, lat = "REJECTED", "-", "-"
+		}
+		placements.AddRow(fmt.Sprintf("%d", r.Seq), report.F2(r.At), r.App, node, choice, lat)
+	}
+	b.WriteString(placements.Render())
+	b.WriteString("\n")
+
+	nodes := report.NewTable("Fleet nodes", "node", "device", "placed", "refused")
+	for _, n := range o.Stats.PerNode {
+		nodes.AddRow(n.ID, n.Device, fmt.Sprintf("%d", n.Placed), fmt.Sprintf("%d", n.Rejected))
+	}
+	b.WriteString(nodes.Render())
+	b.WriteString("\n")
+
+	sum := report.NewTable("Fleet replay summary", "metric", "value")
+	sum.AddRow("arrivals", fmt.Sprintf("%d", o.Result.Arrivals))
+	sum.AddRow("placed", fmt.Sprintf("%d", o.Result.Placed))
+	sum.AddRow("spillovers", fmt.Sprintf("%d", o.Result.Spilled))
+	sum.AddRow("rejected", fmt.Sprintf("%d", o.Result.Rejected))
+	sum.AddRow("rejection rate", o.Result.RejectionRate())
+	sum.AddRow("p50 latency (s)", report.F4(o.Result.P50))
+	sum.AddRow("p99 latency (s)", report.F4(o.Result.P99))
+	b.WriteString(sum.Render())
+	return b.String()
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"bettertogether/internal/fleet"
+)
+
+// TestFleetReplayDefaults runs the canonical 3-node experiment once and
+// checks the outcome's accounting invariants and report shape.
+func TestFleetReplayDefaults(t *testing.T) {
+	out, err := FleetReplay(FleetReplayConfig{Seed: 1})
+	if err != nil {
+		t.Fatalf("FleetReplay: %v", err)
+	}
+	r := out.Result
+	if r.Arrivals != 12 || r.Placed+r.Rejected != r.Arrivals {
+		t.Fatalf("accounting broken: %+v", r)
+	}
+	if len(out.Trace.Arrivals) != r.Arrivals {
+		t.Fatalf("trace length %d, result arrivals %d", len(out.Trace.Arrivals), r.Arrivals)
+	}
+	if out.Stats.Nodes != 3 {
+		t.Fatalf("default registry size = %d, want 3", out.Stats.Nodes)
+	}
+	body := out.Render()
+	for _, want := range []string{
+		"Placement decisions", "Fleet nodes", "Fleet replay summary",
+		"rejection rate", "p99 latency (s)",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("render lacks %q", want)
+		}
+	}
+}
+
+// TestFleetReplaySuppliedTrace pins that an explicit trace bypasses the
+// generator entirely.
+func TestFleetReplaySuppliedTrace(t *testing.T) {
+	tr := fleet.Trace{Arrivals: []fleet.Arrival{
+		{At: 0, App: "octree", Dwell: 1, Tasks: 2},
+		{At: 2, App: "alexnet-sparse", Dwell: 1, Tasks: 2},
+	}}
+	out, err := FleetReplay(FleetReplayConfig{Trace: tr, Seed: 5})
+	if err != nil {
+		t.Fatalf("FleetReplay: %v", err)
+	}
+	if out.Result.Arrivals != 2 || out.Result.Placed != 2 {
+		t.Fatalf("supplied trace not replayed: %+v", out.Result)
+	}
+}

@@ -1,0 +1,274 @@
+// Package fleet is the many-device control plane over the per-device
+// runtime layer: admission stops being a single-SoC decision and becomes
+// a traffic-routing problem across a registry of simulated devices.
+//
+// The split mirrors a capacity-planning/provisioning architecture:
+//
+//   - The registry holds N nodes, each wrapping one internal/runtime
+//     Runtime bound to a fresh soc.Catalog device. Nodes advertise
+//     headroom through the runtime's admission accounting — exactly the
+//     projected steady-state DRAM-bandwidth/PU-core demand Admit checks
+//     applicants against.
+//   - The placement service ranks candidate nodes by projected
+//     interference headroom (per-device-class affinity first, normalized
+//     resource slack second) and reserves by admitting: a refusal is a
+//     typed *runtime.AdmissionError, and placement spills over to the
+//     next-ranked node instead of failing the arrival.
+//   - Sessions land held (runtime.AdmitOptions.Hold): the reservation
+//     occupies capacity and shapes co-residents' interference
+//     environments immediately, while execution is released on the
+//     replay's logical clock — which is what makes a fleet replay
+//     deterministic enough to compare byte-for-byte across runs.
+//
+// Arrival generation (seeded Poisson and bursty patterns) and trace
+// replay live in this package too; cmd/btfleet is the CLI over them.
+// Fleet-level counters export through internal/obs as the bt_fleet_*
+// Prometheus families and KindPlace events on the shared stream.
+package fleet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"bettertogether/internal/metrics"
+	"bettertogether/internal/obs"
+	"bettertogether/internal/pipeline"
+	"bettertogether/internal/runtime"
+	"bettertogether/internal/schedcache"
+	"bettertogether/internal/soc"
+)
+
+// NodeSpec declares one device class's population in the registry.
+type NodeSpec struct {
+	// Device is the soc catalog name (pixel7a, oneplus11, jetson,
+	// jetson-lp).
+	Device string
+	// Count is how many independent nodes of this class to register.
+	Count int
+}
+
+// Config configures a Fleet.
+type Config struct {
+	// Nodes declares the registry, in declaration order. Required.
+	Nodes []NodeSpec
+	// Engine executes every node's session waves; nil selects
+	// pipeline.SimEngine (the deterministic replay path).
+	Engine pipeline.Engine
+	// Seed derives each node runtime's noise stream: node i uses
+	// Seed + i*nodeSeedStride, so populations are heterogeneous but
+	// reproducible.
+	Seed int64
+	// BWHeadroom, CoreHeadroom, ReplanDelta, ProfileReps, AutotuneTasks
+	// and K forward to every node's runtime.Config (zero values select
+	// the runtime defaults).
+	BWHeadroom    float64
+	CoreHeadroom  float64
+	ReplanDelta   float64
+	ProfileReps   int
+	AutotuneTasks int
+	K             int
+	// CacheCapacity, when positive, shares one schedule cache across all
+	// node runtimes — recurring (app, device-class, env) tuples then hit
+	// across the whole fleet, not just within a node. CacheBucket is its
+	// Env quantization width (0 selects the schedcache default).
+	CacheCapacity int
+	CacheBucket   float64
+	// Affinity maps an application name to its preferred device class:
+	// placement ranks matching nodes ahead of the rest, and spillover
+	// crosses into non-preferred classes only when every preferred node
+	// refuses. Unlisted applications rank purely by headroom.
+	Affinity map[string]string
+	// Events, when non-nil, receives every node runtime's events plus the
+	// fleet's own KindPlace placement decisions and KindReject fleet-wide
+	// rejections.
+	Events obs.Sink
+}
+
+// nodeSeedStride separates node noise streams; a large odd prime so
+// per-session seed offsets (multiples of small primes) never collide
+// across nodes.
+const nodeSeedStride = 1_000_003
+
+// ParseNodeSpecs parses the CLI registry syntax: a comma-separated list
+// of "<device>" or "<device>=<count>" entries, e.g.
+// "pixel7a=2,jetson". Device validity is checked at New, not here.
+func ParseNodeSpecs(s string) ([]NodeSpec, error) {
+	var specs []NodeSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		spec := NodeSpec{Device: part, Count: 1}
+		if name, count, ok := strings.Cut(part, "="); ok {
+			n, err := strconv.Atoi(strings.TrimSpace(count))
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("fleet: node spec %q: count must be a positive integer", part)
+			}
+			spec.Device, spec.Count = strings.TrimSpace(name), n
+		}
+		specs = append(specs, spec)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("fleet: node spec %q declares no nodes", s)
+	}
+	return specs, nil
+}
+
+// ParseAffinity parses the CLI affinity syntax: a comma-separated list
+// of "<app>=<device>" pairs, e.g. "vision=jetson,octree=pixel7a".
+func ParseAffinity(s string) (map[string]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	out := map[string]string{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		app, dev, ok := strings.Cut(part, "=")
+		app, dev = strings.TrimSpace(app), strings.TrimSpace(dev)
+		if !ok || app == "" || dev == "" {
+			return nil, fmt.Errorf("fleet: affinity %q: want <app>=<device>", part)
+		}
+		out[app] = dev
+	}
+	return out, nil
+}
+
+// Node is one registry entry: a catalog device with its own runtime.
+type Node struct {
+	// ID is fleet-unique: "<device>/<k>" with k the per-class ordinal.
+	ID string
+	// Device is the node's freshly constructed catalog device.
+	Device *soc.Device
+	// RT is the node's runtime; all placement goes through its Admit.
+	RT *runtime.Runtime
+
+	placed   int // sessions landed here (fleet mu)
+	rejected int // admission refusals incl. spillover probes (fleet mu)
+}
+
+// Fleet is a registry of device nodes plus the placement service routing
+// sessions onto them. Construct with New; place with Place or Replay.
+type Fleet struct {
+	cfg   Config
+	nodes []*Node
+	cache *schedcache.Cache
+
+	mu       sync.Mutex
+	seq      int // placement sequence, names sessions fleet-uniquely
+	arrivals int
+	placed   int
+	spills   int
+	rejected int
+	latency  metrics.Histogram
+}
+
+// New validates the configuration and builds the registry: one fresh
+// catalog device and runtime per node.
+func New(cfg Config) (*Fleet, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("fleet: config declares no nodes")
+	}
+	f := &Fleet{cfg: cfg}
+	if cfg.CacheCapacity > 0 {
+		f.cache = schedcache.New(cfg.CacheCapacity, cfg.CacheBucket)
+	}
+	for _, spec := range cfg.Nodes {
+		if spec.Count <= 0 {
+			return nil, fmt.Errorf("fleet: node spec %q has count %d", spec.Device, spec.Count)
+		}
+		for k := 0; k < spec.Count; k++ {
+			dev, err := soc.DeviceByName(spec.Device)
+			if err != nil {
+				return nil, err
+			}
+			rt, err := runtime.New(runtime.Config{
+				Device:        dev,
+				Engine:        cfg.Engine,
+				BWHeadroom:    cfg.BWHeadroom,
+				CoreHeadroom:  cfg.CoreHeadroom,
+				ProfileReps:   cfg.ProfileReps,
+				AutotuneTasks: cfg.AutotuneTasks,
+				K:             cfg.K,
+				Seed:          cfg.Seed + int64(len(f.nodes))*nodeSeedStride,
+				Events:        cfg.Events,
+				Cache:         f.cache,
+				ReplanDelta:   cfg.ReplanDelta,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fleet: node %s/%d: %w", spec.Device, k, err)
+			}
+			f.nodes = append(f.nodes, &Node{
+				ID:     fmt.Sprintf("%s/%d", spec.Device, k),
+				Device: dev,
+				RT:     rt,
+			})
+		}
+	}
+	return f, nil
+}
+
+// Nodes returns the registry in declaration order.
+func (f *Fleet) Nodes() []*Node { return append([]*Node(nil), f.nodes...) }
+
+// Cache returns the shared schedule cache, nil when planning is uncached.
+func (f *Fleet) Cache() *schedcache.Cache { return f.cache }
+
+// Close shuts every node runtime down, stopping resident sessions.
+func (f *Fleet) Close() {
+	for _, n := range f.nodes {
+		n.RT.Close()
+	}
+}
+
+// observeLatency folds one completed session's elapsed virtual seconds
+// into the fleet latency histogram.
+func (f *Fleet) observeLatency(elapsedSec float64) {
+	f.latency.Observe(time.Duration(elapsedSec * float64(time.Second)))
+}
+
+// Stats snapshots the fleet's placement counters and every node's
+// admission headroom for export (obs.PromFleet, /metrics).
+func (f *Fleet) Stats() obs.FleetStats {
+	f.mu.Lock()
+	s := obs.FleetStats{
+		Nodes:    len(f.nodes),
+		Arrivals: f.arrivals,
+		Placed:   f.placed,
+		Spills:   f.spills,
+		Rejected: f.rejected,
+		Latency:  &f.latency,
+	}
+	perNode := make([]obs.FleetNodeStats, len(f.nodes))
+	for i, n := range f.nodes {
+		perNode[i] = obs.FleetNodeStats{
+			ID:       n.ID,
+			Device:   n.Device.Name,
+			Placed:   n.placed,
+			Rejected: n.rejected,
+		}
+	}
+	f.mu.Unlock()
+	// Headroom reads each node runtime's lock; take them outside ours.
+	for i, n := range f.nodes {
+		perNode[i].Headroom = n.RT.AdmissionHeadroom()
+	}
+	s.PerNode = perNode
+	return s
+}
+
+// emit sends one fleet-level event to the configured sink, if any.
+func (f *Fleet) emit(kind obs.Kind, fill func(*obs.Event)) {
+	if f.cfg.Events == nil {
+		return
+	}
+	e := obs.NewEvent(kind)
+	fill(&e)
+	f.cfg.Events.Emit(e)
+}

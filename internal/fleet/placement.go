@@ -1,0 +1,159 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"bettertogether/internal/core"
+	"bettertogether/internal/obs"
+	"bettertogether/internal/runtime"
+)
+
+// PlacementError reports an arrival no node in the fleet could admit.
+// Refusals holds each candidate's typed admission error in the order
+// placement tried them, so callers can see whether bandwidth or cores
+// ran out fleet-wide.
+type PlacementError struct {
+	// App is the rejected application's name.
+	App string
+	// Refusals maps the attempt order onto node IDs and their admission
+	// errors.
+	Refusals []NodeRefusal
+}
+
+// NodeRefusal is one node's admission refusal during a placement sweep.
+type NodeRefusal struct {
+	Node string
+	Err  *runtime.AdmissionError
+}
+
+// Error implements error.
+func (e *PlacementError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet: no node admitted %q (%d tried)", e.App, len(e.Refusals))
+	for _, r := range e.Refusals {
+		fmt.Fprintf(&b, "; %s: %s demand %.2f > %.2f", r.Node, r.Err.Resource, r.Err.Demand, r.Err.Capacity)
+	}
+	return b.String()
+}
+
+// Placement records where one arrival landed.
+type Placement struct {
+	// Node is the registry node that admitted the session.
+	Node *Node
+	// Session is the admitted (and, under Hold, not yet started) session.
+	Session *runtime.Session
+	// Choice is the node's rank in the candidate order placement swept:
+	// 0 means first pick, anything above is a spillover past Choice
+	// refusals.
+	Choice int
+}
+
+// candidate pairs a node with its placement score for ranking.
+type candidate struct {
+	node      *Node
+	idx       int // registry index, the deterministic tiebreak
+	preferred bool
+	score     float64
+}
+
+// headroomScore is the interference-headroom objective placement ranks
+// by: the node's normalized worst-case slack across the two admission
+// resources. 1 is an idle node, 0 a node at capacity, negative an
+// oversubscribed one (admissions tolerate projected oversubscription by
+// design — headroom factors above 1 — so negatives are reachable and
+// still ordered correctly).
+func headroomScore(h obs.Headroom) float64 {
+	bw := 1.0
+	if h.BWCapacityGBs > 0 {
+		bw = (h.BWCapacityGBs - h.BWDemandGBs) / h.BWCapacityGBs
+	}
+	cores := 1.0
+	if h.CoresCapacity > 0 {
+		cores = (h.CoresCapacity - h.CoresDemand) / h.CoresCapacity
+	}
+	if cores < bw {
+		return cores
+	}
+	return bw
+}
+
+// rank orders the registry for one arrival: nodes of the application's
+// affinity class (if configured) ahead of everything else, then by
+// descending headroom score, then by registry index so equal scores
+// break deterministically.
+func (f *Fleet) rank(app string) []candidate {
+	affinity := f.cfg.Affinity[app]
+	cands := make([]candidate, len(f.nodes))
+	for i, n := range f.nodes {
+		cands[i] = candidate{
+			node:      n,
+			idx:       i,
+			preferred: affinity != "" && n.Device.Name == affinity,
+			score:     headroomScore(n.RT.AdmissionHeadroom()),
+		}
+	}
+	sort.SliceStable(cands, func(a, b int) bool {
+		if cands[a].preferred != cands[b].preferred {
+			return cands[a].preferred
+		}
+		if cands[a].score != cands[b].score {
+			return cands[a].score > cands[b].score
+		}
+		return cands[a].idx < cands[b].idx
+	})
+	return cands
+}
+
+// Place routes one arrival onto the fleet: candidates are ranked by
+// affinity and projected interference headroom, and the application is
+// admitted on the first node that accepts it. A node's typed
+// *runtime.AdmissionError is a spillover, not a failure — placement
+// moves on to the next-ranked candidate and only returns
+// *PlacementError once every node has refused. Any other admission
+// error (a planning failure, a closed runtime) aborts the sweep and is
+// returned as-is.
+//
+// The session is admitted with the caller's options verbatim; replay
+// passes Hold so execution stays on the replay clock.
+func (f *Fleet) Place(app *core.Application, opts runtime.AdmitOptions) (*Placement, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.arrivals++
+	f.seq++
+	if opts.Name == "" {
+		opts.Name = fmt.Sprintf("%s#%d", app.Name, f.seq)
+	}
+
+	var perr PlacementError
+	perr.App = app.Name
+	for choice, c := range f.rank(app.Name) {
+		s, err := c.node.RT.Admit(app, opts)
+		if err == nil {
+			c.node.placed++
+			f.placed++
+			if choice > 0 {
+				f.spills++
+			}
+			f.emit(obs.KindPlace, func(e *obs.Event) {
+				e.Session = opts.Name
+				e.Detail = fmt.Sprintf("node=%s choice=%d", c.node.ID, choice)
+			})
+			return &Placement{Node: c.node, Session: s, Choice: choice}, nil
+		}
+		var aerr *runtime.AdmissionError
+		if !errors.As(err, &aerr) {
+			return nil, fmt.Errorf("fleet: placing %q on %s: %w", app.Name, c.node.ID, err)
+		}
+		c.node.rejected++
+		perr.Refusals = append(perr.Refusals, NodeRefusal{Node: c.node.ID, Err: aerr})
+	}
+	f.rejected++
+	f.emit(obs.KindReject, func(e *obs.Event) {
+		e.Session = opts.Name
+		e.Detail = fmt.Sprintf("fleet: all %d nodes refused", len(f.nodes))
+	})
+	return nil, &perr
+}

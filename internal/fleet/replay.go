@@ -1,0 +1,162 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"bettertogether/internal/runtime"
+	"bettertogether/pkg/btapps"
+)
+
+// PlacementRecord is one arrival's replay outcome, in trace order.
+type PlacementRecord struct {
+	// Seq is the arrival's index in the trace; At its logical time.
+	Seq int     `json:"seq"`
+	At  float64 `json:"at"`
+	// App and Session identify what arrived.
+	App     string `json:"app"`
+	Session string `json:"session"`
+	// Node is where it landed ("" when rejected); Choice its rank in the
+	// candidate sweep (> 0 means spillover).
+	Node   string `json:"node"`
+	Choice int    `json:"choice"`
+	// Rejected marks arrivals no node could admit; Reason carries the
+	// fleet-wide refusal summary.
+	Rejected bool   `json:"rejected,omitempty"`
+	Reason   string `json:"reason,omitempty"`
+	// Elapsed is the completed session's modeled latency in virtual
+	// seconds (0 for rejected arrivals).
+	Elapsed float64 `json:"elapsed"`
+}
+
+// ReplayResult aggregates one trace replay.
+type ReplayResult struct {
+	// Arrivals, Placed, Spilled, Rejected are the fleet-wide counts for
+	// this replay.
+	Arrivals int `json:"arrivals"`
+	Placed   int `json:"placed"`
+	Spilled  int `json:"spilled"`
+	Rejected int `json:"rejected"`
+	// Records holds every arrival's outcome in trace order.
+	Records []PlacementRecord `json:"records"`
+	// P50 and P99 are completed-session latency quantiles in virtual
+	// seconds.
+	P50 float64 `json:"p50"`
+	P99 float64 `json:"p99"`
+}
+
+// RejectionRate is rejected/arrivals rendered without NaN on an empty
+// trace.
+func (r ReplayResult) RejectionRate() string {
+	if r.Arrivals == 0 {
+		return "0"
+	}
+	return strconv.FormatFloat(float64(r.Rejected)/float64(r.Arrivals), 'f', 4, 64)
+}
+
+// replayEvent is one edge of the lockstep replay clock.
+type replayEvent struct {
+	at        float64
+	departure bool
+	seq       int // trace index
+}
+
+// Replay runs a trace through the fleet in logical-time lockstep:
+//
+//   - An arrival is placed with runtime.AdmitOptions.Hold — planned,
+//     admitted, and reserving headroom, but not executing. The
+//     reservation immediately shapes every co-resident's interference
+//     environment, exactly like a running session would.
+//   - A departure starts the held session and waits for it to run to
+//     completion before the clock advances.
+//
+// Departures sort ahead of arrivals at equal times, so capacity freed
+// "now" is visible to arrivals "now". Because the Sim engine models
+// co-location through the interference environment rather than actual
+// concurrency, serializing execution this way changes no modeled
+// latency — and makes the whole replay deterministic: one trace, one
+// seed, one byte-identical result, every run.
+func (f *Fleet) Replay(t Trace) (ReplayResult, error) {
+	events := make([]replayEvent, 0, 2*len(t.Arrivals))
+	for i, a := range t.Arrivals {
+		events = append(events,
+			replayEvent{at: a.At, seq: i},
+			replayEvent{at: a.At + a.Dwell, departure: true, seq: i},
+		)
+	}
+	sort.SliceStable(events, func(a, b int) bool {
+		if events[a].at != events[b].at {
+			return events[a].at < events[b].at
+		}
+		if events[a].departure != events[b].departure {
+			return events[a].departure
+		}
+		return events[a].seq < events[b].seq
+	})
+
+	res := ReplayResult{
+		Arrivals: len(t.Arrivals),
+		Records:  make([]PlacementRecord, len(t.Arrivals)),
+	}
+	sessions := make([]*runtime.Session, len(t.Arrivals))
+	for _, ev := range events {
+		a := t.Arrivals[ev.seq]
+		rec := &res.Records[ev.seq]
+		if ev.departure {
+			s := sessions[ev.seq]
+			if s == nil {
+				continue // rejected on arrival, nothing to depart
+			}
+			s.Start()
+			r := s.Wait()
+			if r.Err != nil {
+				return res, fmt.Errorf("fleet: replay: session %s: %w", r.Name, r.Err)
+			}
+			rec.Elapsed = r.Elapsed
+			f.observeLatency(r.Elapsed)
+			continue
+		}
+		rec.Seq = ev.seq
+		rec.At = a.At
+		rec.App = a.App
+		rec.Session = fmt.Sprintf("%s#%d", a.App, ev.seq)
+		app, err := btapps.ByName(a.App)
+		if err != nil {
+			return res, fmt.Errorf("fleet: replay: arrival %d: %w", ev.seq, err)
+		}
+		p, err := f.Place(app, runtime.AdmitOptions{
+			Name:  rec.Session,
+			Tasks: a.Tasks,
+			Seed:  a.Seed,
+			Hold:  true,
+		})
+		if err != nil {
+			var perr *PlacementError
+			if !errors.As(err, &perr) {
+				return res, err
+			}
+			rec.Rejected = true
+			rec.Reason = perr.Error()
+			res.Rejected++
+			continue
+		}
+		sessions[ev.seq] = p.Session
+		rec.Node = p.Node.ID
+		rec.Choice = p.Choice
+		res.Placed++
+		if p.Choice > 0 {
+			res.Spilled++
+		}
+	}
+	res.P50 = f.latency.Quantile(0.50).Seconds()
+	res.P99 = f.latency.Quantile(0.99).Seconds()
+	return res, nil
+}
+
+// Latency exposes the fleet's completed-session latency histogram.
+func (f *Fleet) Latency() (p50, p99 time.Duration) {
+	return f.latency.Quantile(0.50), f.latency.Quantile(0.99)
+}

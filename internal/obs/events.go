@@ -57,6 +57,10 @@ const (
 	// KindSessionEnd marks a session leaving residency (Detail carries
 	// its terminal error, if any).
 	KindSessionEnd
+	// KindPlace is a fleet-level placement decision: a session landed on
+	// a node (Detail carries "node=<id> choice=<rank>"; choice > 0 means
+	// spillover past the first-ranked node).
+	KindPlace
 
 	numKinds
 )
@@ -65,6 +69,7 @@ const (
 var kindNames = [numKinds]string{
 	"run-start", "run-end", "stage-done", "queue-stall", "panic-recovered",
 	"admit", "reject", "replan", "wave-start", "wave-end", "session-end",
+	"place",
 }
 
 // String returns the kind's stable wire name.

@@ -79,6 +79,9 @@ type ServerConfig struct {
 	// Cache supplies schedule-cache counters for /metrics (the
 	// bt_schedcache_* families). Nil omits the families.
 	Cache func() CacheStats
+	// Fleet supplies fleet-placement counters for /metrics (the
+	// bt_fleet_* families). Nil omits the families.
+	Fleet func() FleetStats
 }
 
 // NewHandler builds the introspection HTTP handler:
@@ -187,6 +190,9 @@ func (cfg ServerConfig) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	if cfg.Cache != nil {
 		_ = PromCache(w, cfg.Cache())
+	}
+	if cfg.Fleet != nil {
+		_ = PromFleet(w, cfg.Fleet())
 	}
 }
 

@@ -66,12 +66,31 @@ func chunkIntensity(p *pipeline.Plan, c core.Chunk) float64 {
 // pipeline every chunk is busy simultaneously, so per-chunk draws sum:
 // each chunk claims its class's cores outright and a bandwidth share
 // equal to the class's peak draw scaled by the chunk's memory intensity.
+//
+// Schedule contiguity (C2, enforced by core.Schedule.Validate) means a
+// valid plan never maps two chunks to one PU class, but hand-built Plan
+// literals can violate it — and without the dedup below such a plan
+// would claim the class's cores once per chunk, inflating projected
+// demand until admission wedges shut. Defensively, a class's cores are
+// claimed once and its chunk intensities sum with saturation at 1 (the
+// Env.Add rule: co-runners cannot draw more than full bandwidth).
 func planDemand(p *pipeline.Plan) demand {
 	var d demand
+	var order []core.PUClass
+	intensity := map[core.PUClass]float64{}
 	for _, c := range p.Chunks {
-		pu := p.Device.PU(c.PU)
-		d.bwGBs += pu.MemBWGBs * chunkIntensity(p, c)
-		d.cores += float64(pu.Cores)
+		if _, seen := intensity[c.PU]; !seen {
+			order = append(order, c.PU)
+			d.cores += float64(p.Device.PU(c.PU).Cores)
+		}
+		sum := intensity[c.PU] + chunkIntensity(p, c)
+		if sum > 1 {
+			sum = 1
+		}
+		intensity[c.PU] = sum
+	}
+	for _, c := range order {
+		d.bwGBs += p.Device.PU(c).MemBWGBs * intensity[c]
 	}
 	return d
 }

@@ -1,0 +1,91 @@
+package runtime
+
+import (
+	"math"
+	"testing"
+
+	"bettertogether/internal/core"
+	"bettertogether/internal/pipeline"
+)
+
+// validDemand projects demand for a well-formed schedule via NewPlan.
+func validDemand(t *testing.T, app *core.Application, dev string, assign []core.PUClass) demand {
+	t.Helper()
+	p, err := pipeline.NewPlan(app, mustDevice(t, dev), core.Schedule{Assign: assign})
+	if err != nil {
+		t.Fatalf("NewPlan: %v", err)
+	}
+	return planDemand(p)
+}
+
+// TestPlanDemandDedupsSharedClass is the malformed-plan guard: a Plan
+// literal whose chunks revisit a PU class (impossible through NewPlan,
+// which enforces contiguity) must claim that class's cores once and
+// saturate its bandwidth share, instead of double-claiming cores until
+// admission wedges shut.
+func TestPlanDemandDedupsSharedClass(t *testing.T) {
+	app := mustApp(t, "octree")
+	dev := mustDevice(t, "jetson")
+	n := len(app.Stages)
+	if n < 3 {
+		t.Fatalf("octree has %d stages, need >= 3", n)
+	}
+	// big big ... big gpu big — the trailing big revisits the class.
+	assign := make([]core.PUClass, n)
+	for i := range assign {
+		assign[i] = core.ClassBig
+	}
+	assign[n-2] = core.ClassGPU
+	sc := core.Schedule{Assign: assign}
+	malformed := &pipeline.Plan{App: app, Device: dev, Schedule: sc, Chunks: sc.Chunks()}
+	if len(malformed.Chunks) != 3 {
+		t.Fatalf("expected 3 chunks, got %d", len(malformed.Chunks))
+	}
+	if err := malformed.Validate(); err == nil {
+		t.Fatal("contiguity-violating plan unexpectedly validated; dedup guard untestable")
+	}
+
+	got := planDemand(malformed)
+	// Cores must count each class once: 6 big + 8 gpu on the Jetson.
+	wantCores := float64(dev.PU(core.ClassBig).Cores + dev.PU(core.ClassGPU).Cores)
+	if got.cores != wantCores {
+		t.Fatalf("cores = %v, want %v (class double-claimed)", got.cores, wantCores)
+	}
+	// Bandwidth must stay below the both-classes-saturated ceiling.
+	ceiling := dev.PU(core.ClassBig).MemBWGBs + dev.PU(core.ClassGPU).MemBWGBs
+	if got.bwGBs > ceiling+1e-9 {
+		t.Fatalf("bwGBs = %v exceeds saturation ceiling %v", got.bwGBs, ceiling)
+	}
+}
+
+// TestPlanDemandValidPlanUnchanged pins that the dedup is a strict no-op
+// for plans with distinct per-chunk classes: same cores, same bandwidth,
+// bit-for-bit.
+func TestPlanDemandValidPlanUnchanged(t *testing.T) {
+	app := mustApp(t, "octree")
+	n := len(app.Stages)
+	assign := make([]core.PUClass, n)
+	for i := range assign {
+		assign[i] = core.ClassBig
+	}
+	for i := n / 2; i < n; i++ {
+		assign[i] = core.ClassGPU
+	}
+	d := validDemand(t, app, "jetson", assign)
+	dev := mustDevice(t, "jetson")
+	wantCores := float64(dev.PU(core.ClassBig).Cores + dev.PU(core.ClassGPU).Cores)
+	if d.cores != wantCores {
+		t.Fatalf("cores = %v, want %v", d.cores, wantCores)
+	}
+	if d.bwGBs <= 0 || math.IsNaN(d.bwGBs) {
+		t.Fatalf("implausible bandwidth demand %v", d.bwGBs)
+	}
+	// Recomputing is deterministic.
+	p, err := pipeline.NewPlan(app, dev, core.Schedule{Assign: assign})
+	if err != nil {
+		t.Fatalf("NewPlan: %v", err)
+	}
+	if again := planDemand(p); again != planDemand(p) || again.cores != d.cores {
+		t.Fatalf("planDemand nondeterministic: %+v vs %+v", again, d)
+	}
+}

@@ -211,7 +211,9 @@ func (rt *Runtime) Admit(app *core.Application, opts AdmitOptions) (*Session, er
 		e.Detail = plan.Schedule.String()
 	})
 	rt.replanLocked(s)
-	go s.run()
+	if !opts.Hold {
+		s.Start()
+	}
 	return s, nil
 }
 
@@ -389,7 +391,9 @@ func (rt *Runtime) Sessions() []*Session {
 	return append([]*Session(nil), rt.history...)
 }
 
-// Wait blocks until every session admitted so far has finished.
+// Wait blocks until every session admitted so far has finished. Sessions
+// admitted with AdmitOptions.Hold must be Started (or Stopped) first, or
+// Wait blocks until some other caller releases them.
 func (rt *Runtime) Wait() {
 	for _, s := range rt.Sessions() {
 		<-s.Done()
@@ -408,6 +412,9 @@ func (rt *Runtime) Close() {
 	rt.mu.Unlock()
 	for _, s := range residents {
 		s.cancel()
+		// Held sessions must still unwind: start them against the
+		// canceled context so run() exits residency immediately.
+		s.Start()
 	}
 	for _, s := range residents {
 		<-s.Done()

@@ -46,6 +46,15 @@ type AdmitOptions struct {
 	// (its environment still updates). Nil lets the runtime plan and
 	// re-plan interference-aware.
 	Schedule *core.Schedule
+	// Hold defers execution: the session is planned, admitted, and
+	// occupies admission capacity (its projected demand reserves headroom
+	// and its steady-state load shapes other sessions' environments), but
+	// no wave runs until the caller invokes Session.Start. This is the
+	// reservation shape fleet placement replays need — admit
+	// deterministically first, execute on the caller's clock later. Stop
+	// and Runtime.Close release held sessions themselves, so a held
+	// session never wedges shutdown.
+	Hold bool
 	// GPUPoolWidth forwards to pipeline.Options.GPUPoolWidth.
 	GPUPoolWidth int
 	// CollectMetrics aggregates a per-session metrics.Pipeline across
@@ -89,6 +98,10 @@ type Session struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	done   chan struct{}
+	// started gates the run goroutine: exactly one Start launches it,
+	// whether from Admit (the default), the holder's Start call, or a
+	// Stop/Close unwinding a held session.
+	started sync.Once
 
 	mu   sync.Mutex
 	plan *pipeline.Plan
@@ -294,6 +307,14 @@ func (s *Session) fail(err error) {
 	}
 }
 
+// Start launches the session's execution goroutine. Idempotent: the
+// first call wins, later calls (including the implicit one inside Stop
+// and Runtime.Close) are no-ops. Admit calls it immediately unless
+// AdmitOptions.Hold deferred the launch to the caller.
+func (s *Session) Start() {
+	s.started.Do(func() { go s.run() })
+}
+
 // Name returns the session's runtime identity.
 func (s *Session) Name() string { return s.opts.Name }
 
@@ -303,10 +324,13 @@ func (s *Session) App() *core.Application { return s.app }
 // Done returns a channel closed when the session has finished.
 func (s *Session) Done() <-chan struct{} { return s.done }
 
-// Stop cancels the session and waits for it to unwind. Idempotent; safe
-// concurrently with Wait.
+// Stop cancels the session and waits for it to unwind. A held session
+// that never ran is started with its context already canceled, so it
+// exits residency immediately instead of wedging the wait. Idempotent;
+// safe concurrently with Wait.
 func (s *Session) Stop() {
 	s.cancel()
+	s.Start()
 	<-s.done
 }
 

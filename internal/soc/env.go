@@ -6,6 +6,23 @@ import (
 	"bettertogether/internal/core"
 )
 
+// clampIntensity sanitizes one MemIntensity the same way
+// schedcache.QuantizeEnv buckets them: NaN and negative values clamp to
+// zero, values past full bandwidth saturate at 1. Every Env combinator
+// routes intensities through here so a poisoned load (a NaN interference
+// ratio, a miscalibrated profile) can never propagate — in particular it
+// can never reach Delta, where a NaN compares false against every
+// threshold and would silently disable re-planning forever.
+func clampIntensity(v float64) float64 {
+	if math.IsNaN(v) || v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
 // Clone returns an independent copy of the environment. A nil receiver
 // clones to an empty, non-nil Env, so callers can overlay onto it.
 func (e Env) Clone() Env {
@@ -19,12 +36,11 @@ func (e Env) Clone() Env {
 // Add folds another load into the class's entry. Memory intensities sum
 // and saturate at 1: two co-runners on (or behind) the same class cannot
 // draw more than the class's full bandwidth, but together they pin it.
+// Both sides are clamped first, so Add (and Overlay, built on it) refuse
+// to propagate NaN or negative intensities into the environment.
 func (e Env) Add(class core.PUClass, l Load) {
 	cur := e[class]
-	cur.MemIntensity += l.MemIntensity
-	if cur.MemIntensity > 1 {
-		cur.MemIntensity = 1
-	}
+	cur.MemIntensity = clampIntensity(clampIntensity(cur.MemIntensity) + clampIntensity(l.MemIntensity))
 	e[class] = cur
 }
 
@@ -44,10 +60,15 @@ func (e Env) Overlay(other Env) Env {
 // nil. The runtime's incremental re-planner compares this against its
 // skip threshold to decide whether churn moved the environment enough
 // to justify a new solve.
+//
+// Intensities are clamped (NaN/negative to 0, >1 to 1) before
+// differencing: a NaN would otherwise poison the comparison — NaN > d is
+// false for every d, so a single poisoned class would report delta 0 and
+// permanently suppress re-planning.
 func (e Env) Delta(other Env) float64 {
 	d := 0.0
 	for c, l := range e {
-		if diff := math.Abs(l.MemIntensity - other[c].MemIntensity); diff > d {
+		if diff := math.Abs(clampIntensity(l.MemIntensity) - clampIntensity(other[c].MemIntensity)); diff > d {
 			d = diff
 		}
 	}
@@ -55,7 +76,7 @@ func (e Env) Delta(other Env) float64 {
 		if _, ok := e[c]; ok {
 			continue
 		}
-		if diff := math.Abs(l.MemIntensity); diff > d {
+		if diff := clampIntensity(l.MemIntensity); diff > d {
 			d = diff
 		}
 	}

@@ -1,0 +1,138 @@
+package soc
+
+import (
+	"math"
+	"testing"
+
+	"bettertogether/internal/core"
+)
+
+func TestEnvDeltaBasics(t *testing.T) {
+	a := Env{core.ClassBig: {MemIntensity: 0.4}, core.ClassGPU: {MemIntensity: 0.2}}
+	b := Env{core.ClassBig: {MemIntensity: 0.1}, core.ClassGPU: {MemIntensity: 0.25}}
+	if got := a.Delta(b); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("Delta = %v, want 0.3", got)
+	}
+	if got, want := a.Delta(b), b.Delta(a); got != want {
+		t.Fatalf("Delta asymmetric: %v vs %v", got, want)
+	}
+}
+
+func TestEnvDeltaNilSides(t *testing.T) {
+	e := Env{core.ClassBig: {MemIntensity: 0.6}}
+	if got := e.Delta(nil); math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("Delta(nil) = %v, want 0.6", got)
+	}
+	if got := Env(nil).Delta(e); math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("nil.Delta(e) = %v, want 0.6", got)
+	}
+	if got := Env(nil).Delta(nil); got != 0 {
+		t.Fatalf("nil.Delta(nil) = %v, want 0", got)
+	}
+}
+
+func TestEnvDeltaAsymmetricClassSets(t *testing.T) {
+	// A class present on only one side counts against zero load,
+	// whichever side holds it.
+	a := Env{core.ClassBig: {MemIntensity: 0.2}}
+	b := Env{core.ClassBig: {MemIntensity: 0.2}, core.ClassLittle: {MemIntensity: 0.5}}
+	if got := a.Delta(b); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Delta missing other-only class: %v, want 0.5", got)
+	}
+	if got := b.Delta(a); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Delta missing receiver-only class: %v, want 0.5", got)
+	}
+}
+
+// TestEnvDeltaNaNNotSuppressed is the bugfix pin: a NaN MemIntensity used
+// to compare false against every accumulated maximum (NaN > d is false),
+// so a poisoned environment reported delta 0 and the runtime's
+// ReplanDelta skip disabled re-planning forever. NaN must clamp to zero
+// load instead, leaving the healthy classes' drift visible.
+func TestEnvDeltaNaNNotSuppressed(t *testing.T) {
+	nan := math.NaN()
+	poisoned := Env{
+		core.ClassBig: {MemIntensity: nan},
+		core.ClassGPU: {MemIntensity: 0.1},
+	}
+	moved := Env{
+		core.ClassBig: {MemIntensity: 0.8},
+		core.ClassGPU: {MemIntensity: 0.7},
+	}
+	got := poisoned.Delta(moved)
+	if math.IsNaN(got) {
+		t.Fatal("Delta propagated NaN")
+	}
+	// big: clamp(NaN)=0 vs 0.8 → 0.8; gpu: 0.1 vs 0.7 → 0.6.
+	if math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("Delta = %v, want 0.8 (NaN clamped to zero load)", got)
+	}
+	// The symmetric direction must agree.
+	if other := moved.Delta(poisoned); math.Abs(other-0.8) > 1e-12 {
+		t.Fatalf("reverse Delta = %v, want 0.8", other)
+	}
+	// A NaN-only divergence is invisible (both clamp to 0) — delta must
+	// be 0, not NaN.
+	if got := (Env{core.ClassBig: {MemIntensity: nan}}).Delta(Env{core.ClassBig: {MemIntensity: nan}}); got != 0 {
+		t.Fatalf("NaN-vs-NaN Delta = %v, want 0", got)
+	}
+}
+
+func TestEnvDeltaClampsNegativeAndInf(t *testing.T) {
+	a := Env{core.ClassBig: {MemIntensity: -3}}
+	b := Env{core.ClassBig: {MemIntensity: math.Inf(1)}}
+	// clamp(-3)=0 vs clamp(+Inf)=1.
+	if got := a.Delta(b); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Delta = %v, want 1", got)
+	}
+}
+
+func TestEnvAddRefusesNaN(t *testing.T) {
+	e := Env{core.ClassBig: {MemIntensity: 0.3}}
+	e.Add(core.ClassBig, Load{MemIntensity: math.NaN()})
+	if got := e[core.ClassBig].MemIntensity; got != 0.3 {
+		t.Fatalf("Add(NaN) changed intensity to %v, want 0.3", got)
+	}
+	// A pre-poisoned entry is repaired on the next Add rather than
+	// propagated.
+	e[core.ClassGPU] = Load{MemIntensity: math.NaN()}
+	e.Add(core.ClassGPU, Load{MemIntensity: 0.2})
+	if got := e[core.ClassGPU].MemIntensity; math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("Add onto NaN entry = %v, want 0.2", got)
+	}
+	// Negative loads clamp to zero contribution; saturation still holds.
+	e.Add(core.ClassGPU, Load{MemIntensity: -5})
+	if got := e[core.ClassGPU].MemIntensity; math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("Add(-5) moved intensity to %v, want 0.2", got)
+	}
+	e.Add(core.ClassGPU, Load{MemIntensity: 0.95})
+	if got := e[core.ClassGPU].MemIntensity; got != 1 {
+		t.Fatalf("Add failed to saturate: %v, want 1", got)
+	}
+}
+
+func TestEnvOverlayRefusesNaN(t *testing.T) {
+	base := Env{core.ClassBig: {MemIntensity: 0.4}}
+	out := base.Overlay(Env{
+		core.ClassBig: {MemIntensity: math.NaN()},
+		core.ClassGPU: {MemIntensity: math.NaN()},
+	})
+	for c, l := range out {
+		if math.IsNaN(l.MemIntensity) {
+			t.Fatalf("Overlay propagated NaN on class %s", c)
+		}
+	}
+	if got := out[core.ClassBig].MemIntensity; math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("Overlay(NaN) moved big to %v, want 0.4", got)
+	}
+	// Receiver is never mutated, either side may be nil.
+	if got := base[core.ClassBig].MemIntensity; got != 0.4 {
+		t.Fatalf("Overlay mutated receiver: %v", got)
+	}
+	if out := Env(nil).Overlay(base); math.Abs(out[core.ClassBig].MemIntensity-0.4) > 1e-12 {
+		t.Fatalf("nil.Overlay lost load: %v", out)
+	}
+	if out := base.Overlay(nil); math.Abs(out[core.ClassBig].MemIntensity-0.4) > 1e-12 {
+		t.Fatalf("Overlay(nil) lost load: %v", out)
+	}
+}
