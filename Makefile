@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all check vet build test race bench bench-suite bench-churn
+.PHONY: all check vet build test race bench bench-suite bench-churn drift-smoke
 
 all: check
 
@@ -23,9 +23,10 @@ test:
 # stress + property tests; run them with the race detector and without
 # result caching. The experiments and sched packages cover the parallel
 # experiment grids, the autotune worker pool, and the profiling cache's
-# singleflight.
+# singleflight. onlineprof covers concurrent event ingestion during
+# admit/exit churn.
 race:
-	$(GO) test -race -count=1 ./internal/pipeline/... ./internal/queue/... ./internal/metrics/... ./internal/runtime/... ./internal/obs/... ./internal/schedcache/... ./internal/fleet/...
+	$(GO) test -race -count=1 ./internal/pipeline/... ./internal/queue/... ./internal/metrics/... ./internal/runtime/... ./internal/obs/... ./internal/schedcache/... ./internal/fleet/... ./internal/onlineprof/...
 	$(GO) test -race -count=1 -run 'Parallel|Concurrent|ForEach' ./internal/experiments/... ./internal/sched/...
 
 bench:
@@ -60,3 +61,15 @@ bench-churn:
 	.bench/btbench -exp churn -churn-min-speedup $(CHURN_MIN_SPEEDUP) \
 	  -bench-json .bench/BENCH_6.json \
 	  $(if $(CHURN_GATE),-bench-gate $(CHURN_GATE) -gate-tolerance 10,)
+
+# drift-smoke runs the online-profiling drift-convergence experiment
+# twice. btbench itself gates the feedback contract (oracle run quiet,
+# injected error detected, distorted run converges back to the oracle
+# schedule); the cmp gates that the whole loop is deterministic.
+drift-smoke:
+	@mkdir -p .bench
+	$(GO) build -o .bench/btbench ./cmd/btbench
+	.bench/btbench -exp drift > .bench/drift_a.txt
+	.bench/btbench -exp drift > .bench/drift_b.txt
+	@cmp .bench/drift_a.txt .bench/drift_b.txt && echo "drift convergence deterministic" || \
+	 { echo "FAIL: drift convergence output diverges between runs"; exit 1; }

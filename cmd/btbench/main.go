@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e0, table1, table2, fig1, table3, fig4, fig5, fig6, table4, fig7, abl-dp, abl-k, abl-buffers, abl-reps, ext-energy, churn, fleet, all)")
+	exp := flag.String("exp", "all", "experiment id (e0, table1, table2, fig1, table3, fig4, fig5, fig6, table4, fig7, abl-dp, abl-k, abl-buffers, abl-reps, ext-energy, churn, fleet, drift, all)")
 	parallel := flag.Bool("parallel", false, "fan experiment grids across GOMAXPROCS-bounded workers (deterministic: output matches the serial run)")
 	timing := flag.Bool("time", false, "report per-experiment and total wall-clock to stderr")
 	listen := flag.String("listen", "", "serve liveness, pprof and per-experiment progress events over HTTP while the suite runs")
@@ -34,7 +34,14 @@ func main() {
 	gateTol := flag.Float64("gate-tolerance", 10, "regression tolerance for -bench-gate, percent")
 	churnRounds := flag.Int("churn-rounds", 0, "admit/drain rounds per churn mode (0 selects the default)")
 	churnMinSpeedup := flag.Float64("churn-min-speedup", 0, "fail unless the churn cache speedup reaches this factor (0 disables)")
+	planner := cli.AddPlannerFlags(flag.CommandLine)
 	flag.Parse()
+
+	// Same shared validation path as btrun and btfleet. The planner
+	// flags parameterize the churn and fleet experiments (the -sched-cache
+	// capacity feeds churn's cache-on mode; all of them feed the fleet
+	// replay).
+	cli.FatalIf("btbench", planner.Validate())
 
 	s := experiments.NewSuite()
 	if *parallel {
@@ -74,7 +81,7 @@ func main() {
 	for _, id := range ids {
 		t0 := time.Now()
 		mark(obs.KindRunStart, strings.TrimSpace(id), 0)
-		if err := run(s, strings.TrimSpace(id), churn); err != nil {
+		if err := run(s, strings.TrimSpace(id), churn, planner); err != nil {
 			cli.Fatalf("btbench", "%s: %v", id, err)
 		}
 		mark(obs.KindRunEnd, strings.TrimSpace(id), time.Since(t0))
@@ -103,8 +110,12 @@ type churnOpts struct {
 // runChurn runs the admission-churn benchmark, optionally writing the
 // github-action-benchmark JSON, gating against a committed baseline,
 // and enforcing a minimum cache speedup.
-func runChurn(o churnOpts) error {
-	res, body, err := experiments.Churn(experiments.ChurnConfig{Rounds: o.rounds})
+func runChurn(o churnOpts, planner *cli.PlannerFlags) error {
+	res, body, err := experiments.Churn(experiments.ChurnConfig{
+		Rounds:        o.rounds,
+		CacheCapacity: planner.CacheCapacity,
+		Bucket:        planner.CacheBucket,
+	})
 	if err != nil {
 		return err
 	}
@@ -134,10 +145,29 @@ func runChurn(o churnOpts) error {
 	return nil
 }
 
-func run(s *experiments.Suite, id string, churn churnOpts) error {
+func run(s *experiments.Suite, id string, churn churnOpts, planner *cli.PlannerFlags) error {
 	switch id {
 	case "churn":
-		return runChurn(churn)
+		return runChurn(churn, planner)
+	case "drift":
+		// Deterministic (seeded, virtual time) but kept out of -exp all to
+		// hold the bench-suite golden stable. The gates make the experiment
+		// a CI smoke: a quiet oracle, a detected injection, convergence.
+		res, body, err := experiments.DriftConvergence(experiments.DriftConvergenceConfig{Seed: 1})
+		if err != nil {
+			return err
+		}
+		fmt.Print(body)
+		if res.Oracle.DriftReplans != 0 {
+			return fmt.Errorf("drift: oracle run drift-replanned %d times, want 0", res.Oracle.DriftReplans)
+		}
+		if res.Distorted.DriftReplans < 1 {
+			return fmt.Errorf("drift: distorted run never drift-replanned")
+		}
+		if !res.Converged {
+			return fmt.Errorf("drift: distorted run finished on %s, oracle %s",
+				res.Distorted.Final, res.Oracle.Final)
+		}
 	case "table1":
 		fmt.Print(report.Section("Table 1", s.Table1()))
 	case "table2":
@@ -236,7 +266,13 @@ func run(s *experiments.Suite, id string, churn churnOpts) error {
 		// Deterministic like the rest of the suite (seeded trace, virtual
 		// time), but kept out of -exp all to hold the bench-suite golden
 		// stable; run it explicitly or via cmd/btfleet.
-		out, err := experiments.FleetReplay(experiments.FleetReplayConfig{Seed: 1})
+		out, err := experiments.FleetReplay(experiments.FleetReplayConfig{
+			Seed:          1,
+			ReplanDelta:   planner.ReplanDelta,
+			CacheCapacity: planner.CacheCapacity,
+			CacheBucket:   planner.CacheBucket,
+			OnlineProf:    planner.OnlineProf(),
+		})
 		if err != nil {
 			return err
 		}

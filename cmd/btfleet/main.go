@@ -29,7 +29,6 @@ import (
 	"bettertogether/internal/experiments"
 	"bettertogether/internal/fleet"
 	"bettertogether/internal/obs"
-	"bettertogether/internal/schedcache"
 )
 
 func main() {
@@ -48,28 +47,17 @@ func main() {
 	affinity := flag.String("affinity", "", "placement affinity: comma-separated <app>=<device> pairs")
 	bwHeadroom := flag.Float64("bw-headroom", 0, "per-node DRAM bandwidth headroom factor (0 = runtime default)")
 	coreHeadroom := flag.Float64("core-headroom", 0, "per-node PU core headroom factor (0 = runtime default)")
-	replanDelta := flag.Float64("replan-delta", 0, "per-node re-plan skip threshold (0 = always re-plan)")
-	cacheCap := flag.Int("sched-cache", 0, "share a schedule cache of this capacity across all nodes (0 = off)")
-	cacheBucket := flag.Float64("cache-bucket", 0, "shared cache Env quantization bucket width (0 = default)")
+	planner := cli.AddPlannerFlags(flag.CommandLine)
 	jsonOut := flag.Bool("json", false, "print the replay result as JSON instead of tables")
 	listen := flag.String("listen", "", "serve observability HTTP after the replay (/metrics carries the bt_fleet_* families)")
 	hold := flag.Duration("hold", 0, "with -listen: keep the server up this long after the replay finishes (for scrapers and CI probes)")
 	maxRejections := flag.Int("max-rejections", -1, "exit 1 when more than this many arrivals are rejected (-1 = no gate)")
 	flag.Parse()
 
-	// Same fail-fast knob validation as btrun: negative or non-finite
-	// values would silently select a different policy than the user asked
-	// for.
-	if *cacheCap < 0 {
-		cli.Fatalf("btfleet", "-sched-cache must be >= 0 (0 disables the cache), got %d", *cacheCap)
-	}
-	if *cacheBucket < 0 || math.IsNaN(*cacheBucket) || math.IsInf(*cacheBucket, 0) {
-		cli.Fatalf("btfleet", "-cache-bucket must be a finite value >= 0 (0 selects the default %g), got %v",
-			schedcache.DefaultBucket, *cacheBucket)
-	}
-	if *replanDelta < 0 || math.IsNaN(*replanDelta) || math.IsInf(*replanDelta, 0) {
-		cli.Fatalf("btfleet", "-replan-delta must be a finite value >= 0 (0 re-plans on every pass), got %v", *replanDelta)
-	}
+	// Shared fail-fast knob validation with btrun and btbench: negative
+	// or non-finite values would silently select a different policy than
+	// the user asked for.
+	cli.FatalIf("btfleet", planner.Validate())
 	for _, v := range []struct {
 		name string
 		val  float64
@@ -99,10 +87,11 @@ func main() {
 		},
 		BWHeadroom:    *bwHeadroom,
 		CoreHeadroom:  *coreHeadroom,
-		ReplanDelta:   *replanDelta,
-		CacheCapacity: *cacheCap,
-		CacheBucket:   *cacheBucket,
+		ReplanDelta:   planner.ReplanDelta,
+		CacheCapacity: planner.CacheCapacity,
+		CacheBucket:   planner.CacheBucket,
 		Affinity:      aff,
+		OnlineProf:    planner.OnlineProf(),
 		Seed:          *seed,
 	}
 	if *tracePath != "" {
@@ -124,14 +113,21 @@ func main() {
 	out, err := experiments.FleetReplay(cfg)
 	cli.FatalIf("btfleet", err)
 
+	if out.OnlineProfEnabled {
+		fmt.Fprintf(os.Stderr, "btfleet: %s\n", cli.OnlineProfSummary(out.OnlineProf, true))
+	}
+
 	if *listen != "" {
 		// The fleet is torn down after the replay, so serve the final
 		// stats snapshot: scrapers and CI probes read the completed run.
-		stats := out.Stats
-		srv, err = obs.Serve(*listen, obs.ServerConfig{
+		srvCfg := obs.ServerConfig{
 			Stream: stream,
-			Fleet:  func() obs.FleetStats { return stats },
-		})
+			Fleet:  func() obs.FleetStats { return out.Stats },
+		}
+		if out.OnlineProfEnabled {
+			srvCfg.OnlineProf = func() obs.OnlineProfStats { return out.OnlineProf }
+		}
+		srv, err = obs.Serve(*listen, srvCfg)
 		cli.FatalIf("btfleet", err)
 		fmt.Fprintf(os.Stderr, "btfleet: observability server on http://%s/\n", srv.Addr())
 		defer srv.Close()

@@ -24,7 +24,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"math"
 	"os"
 	"strings"
 	"sync"
@@ -34,7 +33,6 @@ import (
 	"bettertogether/internal/obs"
 	"bettertogether/internal/report"
 	btruntime "bettertogether/internal/runtime"
-	"bettertogether/internal/schedcache"
 	"bettertogether/internal/trace"
 	"bettertogether/pkg/bt"
 	"bettertogether/pkg/btapps"
@@ -91,26 +89,12 @@ func main() {
 	listen := flag.String("listen", "", "serve observability HTTP on this address (/metrics, /sessions, /trace, /events, /healthz, /debug/pprof)")
 	hold := flag.Duration("hold", 0, "with -listen: keep the server up this long after the run finishes (for scrapers and CI probes)")
 	chromeTrace := flag.String("chrome-trace", "", "write the run's timeline as Chrome trace_event JSON to this file (implies tracing; open in Perfetto)")
-	cacheCap := flag.Int("sched-cache", 0, "multi-app: memoize planning results in a schedule cache of this capacity (0 = off)")
-	cacheBucket := flag.Float64("cache-bucket", 0, "multi-app: cache Env quantization bucket width (0 = default)")
-	replanDelta := flag.Float64("replan-delta", 0, "multi-app: skip re-planning a resident whose Env moved less than this since its last solve (0 = always re-plan)")
+	planner := cli.AddPlannerFlags(flag.CommandLine)
 	flag.Parse()
 
-	// Fail fast on nonsensical cache/replan knobs: a negative capacity
-	// would silently disable the cache, a negative bucket would fall back
-	// to the default width behind the user's back, and a negative (or
-	// NaN) delta would make every Env.Delta comparison vacuous — each a
-	// quiet mis-scheduling mode rather than an error the user sees.
-	if *cacheCap < 0 {
-		cli.Fatalf("btrun", "-sched-cache must be >= 0 (0 disables the cache), got %d", *cacheCap)
-	}
-	if *cacheBucket < 0 || math.IsNaN(*cacheBucket) || math.IsInf(*cacheBucket, 0) {
-		cli.Fatalf("btrun", "-cache-bucket must be a finite value >= 0 (0 selects the default %g), got %v",
-			schedcache.DefaultBucket, *cacheBucket)
-	}
-	if *replanDelta < 0 || math.IsNaN(*replanDelta) || math.IsInf(*replanDelta, 0) {
-		cli.Fatalf("btrun", "-replan-delta must be a finite value >= 0 (0 re-plans on every pass), got %v", *replanDelta)
-	}
+	// One shared validation path for the planner knobs (cache, re-plan
+	// delta, online profiling) across btrun, btfleet and btbench.
+	cli.FatalIf("btrun", planner.Validate())
 
 	if len(apps) == 0 {
 		apps = multiFlag{"octree"}
@@ -123,7 +107,7 @@ func main() {
 	if len(apps) > 1 {
 		runMulti(apps, delays, dev, eng, *schedule, *tasks, *warmup, *seed,
 			*gantt || *traceFlag, *metricsFlag, *listen, *hold, *chromeTrace,
-			*cacheCap, *cacheBucket, *replanDelta)
+			planner)
 		return
 	}
 	runSingle(apps[0], dev, eng, *schedule, *engine, *tasks, *warmup, *seed,
@@ -265,20 +249,20 @@ func runSingle(appName string, dev *bt.Device, eng bt.Engine, schedule, engineNa
 func runMulti(apps []string, delays []time.Duration, dev *bt.Device, eng bt.Engine,
 	schedule string, tasks, warmup int, seed int64, wantTrace, wantMetrics bool,
 	listen string, hold time.Duration, chromeTrace string,
-	cacheCap int, cacheBucket, replanDelta float64) {
+	planner *cli.PlannerFlags) {
 	if schedule != "auto" {
 		cli.Fatalf("btrun", "multi-app mode plans each session itself; drop -schedule (got %q)", schedule)
 	}
-	cfg := btruntime.Config{Device: dev, Engine: eng, Seed: seed, ReplanDelta: replanDelta}
-	if cacheCap > 0 {
-		cfg.Cache = schedcache.New(cacheCap, cacheBucket)
-	}
+	opts := append([]btruntime.Option{
+		btruntime.WithEngine(eng),
+		btruntime.WithSeed(seed),
+	}, planner.RuntimeOptions()...)
 	var stream *obs.Stream
 	if listen != "" {
 		stream = obs.NewStream(obs.DefaultStreamCapacity)
-		cfg.Events = stream
+		opts = append(opts, btruntime.WithEvents(stream))
 	}
-	rt, err := btruntime.New(cfg)
+	rt, err := btruntime.New(dev, opts...)
 	cli.FatalIf("btrun", err)
 	defer rt.Close()
 
@@ -289,6 +273,12 @@ func runMulti(apps []string, delays []time.Duration, dev *bt.Device, eng bt.Engi
 	var srv *obs.Server
 	if listen != "" {
 		srvCfg := obs.ServerConfig{Inspector: rt, Stream: stream}
+		if _, ok := rt.OnlineProfStats(); ok {
+			srvCfg.OnlineProf = func() obs.OnlineProfStats {
+				s, _ := rt.OnlineProfStats()
+				return s
+			}
+		}
 		if c := rt.Cache(); c != nil {
 			srvCfg.Cache = func() obs.CacheStats {
 				s := c.Stats()
@@ -330,6 +320,9 @@ func runMulti(apps []string, delays []time.Duration, dev *bt.Device, eng bt.Engi
 		st := c.Stats()
 		fmt.Fprintf(os.Stderr, "btrun: schedule cache: %d hits, %d misses, %d stores, %d evictions (%d/%d entries); %d re-plans delta-skipped\n",
 			st.Hits, st.Misses, st.Stores, st.Evictions, st.Size, st.Capacity, rt.ReplansSkipped())
+	}
+	if s, ok := rt.OnlineProfStats(); ok {
+		fmt.Fprintf(os.Stderr, "btrun: %s\n", cli.OnlineProfSummary(s, ok))
 	}
 	fmt.Print(rt.Report(100))
 	for _, s := range rt.Sessions() {

@@ -132,15 +132,16 @@ func Churn(cfg ChurnConfig) (ChurnResult, string, error) {
 	// cold-fill-then-warm scenario).
 	runRep := func(cache *schedcache.Cache) (ChurnModeStats, error) {
 		st := ChurnModeStats{}
-		rt, err := btruntime.New(btruntime.Config{
-			Device: dev,
-			// Generous headrooms: the scenario measures planning latency,
-			// not admission policy, so no round may be rejected.
-			BWHeadroom:   8,
-			CoreHeadroom: 8,
-			Seed:         cfg.Seed,
-			Cache:        cache,
-		})
+		// Generous headrooms: the scenario measures planning latency,
+		// not admission policy, so no round may be rejected.
+		opts := []btruntime.Option{
+			btruntime.WithHeadroom(8, 8),
+			btruntime.WithSeed(cfg.Seed),
+		}
+		if cache != nil {
+			opts = append(opts, btruntime.WithSchedCache(cache))
+		}
+		rt, err := btruntime.New(dev, opts...)
 		if err != nil {
 			return st, err
 		}

@@ -6,6 +6,7 @@ import (
 
 	"bettertogether/internal/fleet"
 	"bettertogether/internal/obs"
+	"bettertogether/internal/onlineprof"
 	"bettertogether/internal/report"
 )
 
@@ -20,14 +21,15 @@ type FleetReplayConfig struct {
 	// Gen generates the trace when Trace is empty. Zero-valued fields
 	// pick the canonical defaults: a bursty 12-arrival octree/alexnet mix.
 	Gen fleet.GenConfig
-	// BWHeadroom, CoreHeadroom, ReplanDelta, CacheCapacity, CacheBucket
-	// and Affinity forward to fleet.Config.
+	// BWHeadroom, CoreHeadroom, ReplanDelta, CacheCapacity, CacheBucket,
+	// Affinity and OnlineProf forward to fleet.Config.
 	BWHeadroom    float64
 	CoreHeadroom  float64
 	ReplanDelta   float64
 	CacheCapacity int
 	CacheBucket   float64
 	Affinity      map[string]string
+	OnlineProf    *onlineprof.Config
 	// Seed drives the node runtimes' noise streams.
 	Seed int64
 	// Events forwards to fleet.Config.Events.
@@ -78,6 +80,11 @@ type FleetReplayOutcome struct {
 	Result fleet.ReplayResult
 	Stats  obs.FleetStats
 	Trace  fleet.Trace
+	// OnlineProf merges the node runtimes' feedback-loop counters;
+	// OnlineProfEnabled is false when the replay ran without online
+	// profiling (the counters are then all zero).
+	OnlineProf        obs.OnlineProfStats
+	OnlineProfEnabled bool
 }
 
 // FleetReplay builds a fleet from the config, replays the trace in
@@ -103,6 +110,7 @@ func FleetReplay(cfg FleetReplayConfig) (FleetReplayOutcome, error) {
 		CacheBucket:   cfg.CacheBucket,
 		Affinity:      cfg.Affinity,
 		Events:        cfg.Events,
+		OnlineProf:    cfg.OnlineProf,
 	})
 	if err != nil {
 		return out, err
@@ -113,6 +121,7 @@ func FleetReplay(cfg FleetReplayConfig) (FleetReplayOutcome, error) {
 		return out, err
 	}
 	out.Stats = f.Stats()
+	out.OnlineProf, out.OnlineProfEnabled = f.OnlineProfStats()
 	return out, nil
 }
 
@@ -148,6 +157,9 @@ func (o FleetReplayOutcome) Render() string {
 	sum.AddRow("rejection rate", o.Result.RejectionRate())
 	sum.AddRow("p50 latency (s)", report.F4(o.Result.P50))
 	sum.AddRow("p99 latency (s)", report.F4(o.Result.P99))
+	if o.OnlineProfEnabled {
+		sum.AddRow("drift re-plans", fmt.Sprintf("%d", o.OnlineProf.DriftReplans))
+	}
 	b.WriteString(sum.Render())
 	return b.String()
 }

@@ -35,6 +35,7 @@ import (
 
 	"bettertogether/internal/metrics"
 	"bettertogether/internal/obs"
+	"bettertogether/internal/onlineprof"
 	"bettertogether/internal/pipeline"
 	"bettertogether/internal/runtime"
 	"bettertogether/internal/schedcache"
@@ -85,6 +86,11 @@ type Config struct {
 	// fleet's own KindPlace placement decisions and KindReject fleet-wide
 	// rejections.
 	Events obs.Sink
+	// OnlineProf, when non-nil, enables feedback-driven replanning on
+	// every node runtime: each node runs its own estimator and drift
+	// detector over the shared event stream (events are tagged by
+	// session, and session names are fleet-unique).
+	OnlineProf *onlineprof.Config
 }
 
 // nodeSeedStride separates node noise streams; a large odd prime so
@@ -188,19 +194,7 @@ func New(cfg Config) (*Fleet, error) {
 			if err != nil {
 				return nil, err
 			}
-			rt, err := runtime.New(runtime.Config{
-				Device:        dev,
-				Engine:        cfg.Engine,
-				BWHeadroom:    cfg.BWHeadroom,
-				CoreHeadroom:  cfg.CoreHeadroom,
-				ProfileReps:   cfg.ProfileReps,
-				AutotuneTasks: cfg.AutotuneTasks,
-				K:             cfg.K,
-				Seed:          cfg.Seed + int64(len(f.nodes))*nodeSeedStride,
-				Events:        cfg.Events,
-				Cache:         f.cache,
-				ReplanDelta:   cfg.ReplanDelta,
-			})
+			rt, err := runtime.New(dev, f.nodeOptions(cfg, len(f.nodes))...)
 			if err != nil {
 				return nil, fmt.Errorf("fleet: node %s/%d: %w", spec.Device, k, err)
 			}
@@ -212,6 +206,86 @@ func New(cfg Config) (*Fleet, error) {
 		}
 	}
 	return f, nil
+}
+
+// nodeOptions maps the fleet configuration onto one node runtime's
+// functional options. Zero-valued fleet fields stay absent, so the
+// runtime's own defaults apply; set fields are validated by the options
+// themselves at New.
+func (f *Fleet) nodeOptions(cfg Config, node int) []runtime.Option {
+	opts := []runtime.Option{
+		runtime.WithSeed(cfg.Seed + int64(node)*nodeSeedStride),
+	}
+	if cfg.Engine != nil {
+		opts = append(opts, runtime.WithEngine(cfg.Engine))
+	}
+	if cfg.BWHeadroom > 0 || cfg.CoreHeadroom > 0 {
+		bw, cores := cfg.BWHeadroom, cfg.CoreHeadroom
+		if bw <= 0 {
+			bw = runtime.DefaultBWHeadroom
+		}
+		if cores <= 0 {
+			cores = runtime.DefaultCoreHeadroom
+		}
+		opts = append(opts, runtime.WithHeadroom(bw, cores))
+	}
+	if cfg.ProfileReps > 0 || cfg.AutotuneTasks > 0 || cfg.K > 0 {
+		reps, autotune, k := cfg.ProfileReps, cfg.AutotuneTasks, cfg.K
+		if reps <= 0 {
+			reps = runtime.DefaultProfileReps
+		}
+		if autotune <= 0 {
+			autotune = runtime.DefaultAutotuneTasks
+		}
+		if k <= 0 {
+			k = runtime.DefaultReplanK
+		}
+		opts = append(opts, runtime.WithPlanningBudget(reps, autotune, k))
+	}
+	if cfg.Events != nil {
+		opts = append(opts, runtime.WithEvents(cfg.Events))
+	}
+	if f.cache != nil {
+		opts = append(opts, runtime.WithSchedCache(f.cache))
+	}
+	if cfg.ReplanDelta > 0 {
+		opts = append(opts, runtime.WithReplanDelta(cfg.ReplanDelta))
+	}
+	if cfg.OnlineProf != nil {
+		opts = append(opts, runtime.WithOnlineProfiling(*cfg.OnlineProf))
+	}
+	return opts
+}
+
+// ReplansFromDrift sums drift-triggered replans across every node
+// runtime (zero when online profiling is disabled).
+func (f *Fleet) ReplansFromDrift() int {
+	total := 0
+	for _, n := range f.nodes {
+		total += n.RT.ReplansFromDrift()
+	}
+	return total
+}
+
+// OnlineProfStats merges every node runtime's feedback-loop counters;
+// ok is false when online profiling is disabled fleet-wide.
+func (f *Fleet) OnlineProfStats() (obs.OnlineProfStats, bool) {
+	var out obs.OnlineProfStats
+	any := false
+	for _, n := range f.nodes {
+		s, ok := n.RT.OnlineProfStats()
+		if !ok {
+			continue
+		}
+		any = true
+		out.Observations += s.Observations
+		out.Cells += s.Cells
+		out.LatchedCells += s.LatchedCells
+		out.DriftsTriggered += s.DriftsTriggered
+		out.Invalidations += s.Invalidations
+		out.DriftReplans += s.DriftReplans
+	}
+	return out, any
 }
 
 // Nodes returns the registry in declaration order.

@@ -61,6 +61,11 @@ const (
 	// a node (Detail carries "node=<id> choice=<rank>"; choice > 0 means
 	// spillover past the first-ranked node).
 	KindPlace
+	// KindDriftReplan is a re-plan triggered by the online profiler:
+	// observed service times diverged from the model that produced the
+	// session's schedule (Detail carries the diverging estimator cell and
+	// the divergence; the Replan events for the new schedules follow).
+	KindDriftReplan
 
 	numKinds
 )
@@ -69,7 +74,7 @@ const (
 var kindNames = [numKinds]string{
 	"run-start", "run-end", "stage-done", "queue-stall", "panic-recovered",
 	"admit", "reject", "replan", "wave-start", "wave-end", "session-end",
-	"place",
+	"place", "drift-replan",
 }
 
 // String returns the kind's stable wire name.
@@ -95,6 +100,10 @@ type Event struct {
 	Session string
 	// Stage is the stage name (StageDone, PanicRecovered).
 	Stage string
+	// PU is the executing PU class of a StageDone — the estimator-facing
+	// tap that lets a subscriber attribute a service time to a
+	// (stage, PU) pair without re-deriving the schedule.
+	PU string
 	// Chunk is the chunk index (StageDone, PanicRecovered) or edge index
 	// (QueueStall); -1 when not applicable.
 	Chunk int
@@ -108,6 +117,13 @@ type Event struct {
 	Dur time.Duration
 	// Detail is free-form context: a schedule, an error, a panic value.
 	Detail string
+	// Dropped is the number of events this subscriber lost to a full
+	// buffer immediately before this one (0 = lossless so far). It is
+	// stamped per subscriber at delivery, never stored in the ring:
+	// ring readers always see 0. Loss-sensitive consumers (the online
+	// profiler's estimator) use it to invalidate state built from the
+	// now-gapped stream instead of silently skewing their averages.
+	Dropped uint64
 }
 
 // NewEvent returns an Event of the given kind with the index fields
@@ -179,6 +195,9 @@ func NewStream(capacity int) *Stream {
 // Emit implements Sink: it assigns the event's Seq and Wall, stores it in
 // the ring (overwriting the oldest), and offers it to every subscriber
 // without blocking — a full subscriber buffer counts a drop instead.
+// The first event delivered after a drop window carries the window's
+// size in Event.Dropped, so subscribers learn about their losses
+// in-stream rather than by polling a counter.
 func (s *Stream) Emit(e Event) {
 	if s == nil {
 		return
@@ -190,9 +209,12 @@ func (s *Stream) Emit(e Event) {
 	e.Wall = now
 	s.ring[int((s.total-1)%uint64(len(s.ring)))] = e
 	for _, sub := range s.subs {
+		e.Dropped = sub.pending
 		select {
 		case sub.ch <- e:
+			sub.pending = 0
 		default:
+			sub.pending++
 			sub.drops.Add(1)
 			s.dropped.Add(1)
 		}
@@ -259,8 +281,12 @@ type Subscription struct {
 	id     int
 	stream *Stream
 	ch     chan Event
-	drops  atomic.Uint64
-	closed atomic.Bool
+	// pending counts events dropped since the last successful delivery;
+	// it is stamped onto the next delivered event's Dropped field.
+	// Guarded by the stream's mutex.
+	pending uint64
+	drops   atomic.Uint64
+	closed  atomic.Bool
 }
 
 // Drops returns how many events this subscriber lost to a full buffer.

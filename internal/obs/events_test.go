@@ -81,6 +81,50 @@ func TestStreamSubscribeFanOutAndDrops(t *testing.T) {
 	}
 }
 
+// TestDroppedSurfacedToSubscriber pins the loss-awareness contract: the
+// first event delivered after a drop window carries the window's size in
+// Dropped, lossless delivery carries 0, and ring readers never see the
+// per-subscriber stamp.
+func TestDroppedSurfacedToSubscriber(t *testing.T) {
+	s := NewStream(16)
+	sub := s.Subscribe(2)
+	defer sub.Close()
+
+	// Fill the buffer (delivered, Dropped=0), overflow it by 3, then
+	// drain to make room and emit the event that reports the loss.
+	for i := 0; i < 5; i++ {
+		s.Emit(Event{Kind: KindStageDone, Task: i})
+	}
+	for i := 0; i < 2; i++ {
+		e := <-sub.C
+		if e.Task != i || e.Dropped != 0 {
+			t.Fatalf("pre-loss event %d: task %d dropped %d", i, e.Task, e.Dropped)
+		}
+	}
+	s.Emit(Event{Kind: KindStageDone, Task: 5})
+	e := <-sub.C
+	if e.Task != 5 {
+		t.Fatalf("post-loss event is task %d, want 5", e.Task)
+	}
+	if e.Dropped != 3 {
+		t.Fatalf("post-loss event reports %d drops, want 3", e.Dropped)
+	}
+	if sub.Drops() != 3 {
+		t.Fatalf("cumulative Drops %d, want 3", sub.Drops())
+	}
+	// A later emission is lossless again: the pending count was consumed.
+	s.Emit(Event{Kind: KindStageDone, Task: 6})
+	if e := <-sub.C; e.Task != 6 || e.Dropped != 0 {
+		t.Fatalf("post-recovery event: task %d dropped %d, want 6/0", e.Task, e.Dropped)
+	}
+	// Ring contents never carry the per-subscriber stamp.
+	for _, re := range s.Recent(0) {
+		if re.Dropped != 0 {
+			t.Fatalf("ring event seq %d carries Dropped %d", re.Seq, re.Dropped)
+		}
+	}
+}
+
 func TestStreamClosedSubscriberStopsReceiving(t *testing.T) {
 	s := NewStream(4)
 	sub := s.Subscribe(4)

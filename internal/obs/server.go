@@ -82,6 +82,9 @@ type ServerConfig struct {
 	// Fleet supplies fleet-placement counters for /metrics (the
 	// bt_fleet_* families). Nil omits the families.
 	Fleet func() FleetStats
+	// OnlineProf supplies online-profiler counters for /metrics (the
+	// bt_onlineprof_* families). Nil omits the families.
+	OnlineProf func() OnlineProfStats
 }
 
 // NewHandler builds the introspection HTTP handler:
@@ -194,6 +197,9 @@ func (cfg ServerConfig) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if cfg.Fleet != nil {
 		_ = PromFleet(w, cfg.Fleet())
 	}
+	if cfg.OnlineProf != nil {
+		_ = PromOnlineProf(w, cfg.OnlineProf())
+	}
 }
 
 // sessionsDoc is the /sessions response body.
@@ -252,6 +258,7 @@ type eventWire struct {
 	Kind    string `json:"kind"`
 	Session string `json:"session,omitempty"`
 	Stage   string `json:"stage,omitempty"`
+	PU      string `json:"pu,omitempty"`
 	Chunk   *int   `json:"chunk,omitempty"`
 	Task    *int   `json:"task,omitempty"`
 	Wave    *int   `json:"wave,omitempty"`
@@ -292,6 +299,7 @@ func (cfg ServerConfig) handleEvents(w http.ResponseWriter, r *http.Request) {
 
 			Session: e.Session,
 			Stage:   e.Stage,
+			PU:      e.PU,
 			DurNs:   int64(e.Dur),
 			Detail:  e.Detail,
 		}

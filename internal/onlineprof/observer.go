@@ -1,0 +1,104 @@
+package onlineprof
+
+import (
+	"sync/atomic"
+	"time"
+
+	"bettertogether/internal/obs"
+)
+
+// Observer pumps a stream subscription into an Estimator on a
+// background goroutine. Ingestion is asynchronous — emitters never
+// block on estimation — but the runtime needs determinism at decision
+// points: before acting on drift at a wave boundary it calls Sync with
+// the stream's emission total, which blocks until every emission up to
+// that point is accounted for (processed or counted as dropped). In
+// simulation, where emission happens-before the wave boundary, this
+// makes the feedback loop fully deterministic.
+type Observer struct {
+	est *Estimator
+	sub *obs.Subscription
+
+	// base is the stream's emission total at subscribe time: emissions
+	// before the observer existed can never be accounted for and are
+	// excluded from the Sync arithmetic.
+	base      uint64
+	delivered atomic.Uint64
+	done      chan struct{}
+}
+
+// NewObserver subscribes to the stream (buffer capacity buffer; the
+// stream's default when <= 0) and starts the ingestion goroutine.
+// Returns nil when stream or est is nil, so callers can thread an
+// optional observer without nil checks at every use.
+func NewObserver(est *Estimator, stream *obs.Stream, buffer int) *Observer {
+	if est == nil || stream == nil {
+		return nil
+	}
+	sub := stream.Subscribe(buffer)
+	if sub == nil {
+		return nil
+	}
+	o := &Observer{est: est, sub: sub, base: stream.Total(), done: make(chan struct{})}
+	go o.loop()
+	return o
+}
+
+func (o *Observer) loop() {
+	defer close(o.done)
+	for e := range o.sub.C {
+		o.est.ObserveEvent(e)
+		o.delivered.Add(1)
+	}
+}
+
+// Estimator returns the estimator this observer feeds.
+func (o *Observer) Estimator() *Estimator {
+	if o == nil {
+		return nil
+	}
+	return o.est
+}
+
+// accounted is the number of post-subscribe emissions this observer has
+// fully dealt with: processed deliveries plus emissions the stream
+// counted as dropped for this subscriber (drops are counted at emit
+// time, so a trailing loss window is visible here immediately).
+func (o *Observer) accounted() uint64 {
+	return o.base + o.delivered.Load() + o.sub.Drops()
+}
+
+// Sync blocks until every emission up to total (a stream.Total()
+// reading) is accounted for, the observer shuts down, or the timeout
+// elapses; it reports whether the watermark was reached. A nil observer
+// is always synced.
+func (o *Observer) Sync(total uint64, timeout time.Duration) bool {
+	if o == nil {
+		return true
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		if o.accounted() >= total {
+			return true
+		}
+		select {
+		case <-o.done:
+			return o.accounted() >= total
+		default:
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// Close stops ingestion and joins the goroutine. Safe on nil and safe
+// to call twice.
+func (o *Observer) Close() {
+	if o == nil {
+		return
+	}
+	o.sub.Close()
+	<-o.done
+}

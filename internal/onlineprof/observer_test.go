@@ -1,0 +1,139 @@
+package onlineprof
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"bettertogether/internal/core"
+	"bettertogether/internal/obs"
+)
+
+func TestObserverIngestsAndSyncs(t *testing.T) {
+	e := NewEstimator(testConfig())
+	e.SetSessionModel("s", 1, "", []ModelCell{{Stage: "conv", PU: core.ClassGPU, Seconds: 0.010}})
+	stream := obs.NewStream(64)
+	o := NewObserver(e, stream, 64)
+	defer o.Close()
+
+	for i := 0; i < 10; i++ {
+		stream.Emit(stageDone("s", "conv", core.ClassGPU, 0.020))
+	}
+	if !o.Sync(stream.Total(), 2*time.Second) {
+		t.Fatal("Sync timed out with a drained buffer")
+	}
+	if got := e.Stats().Observations; got != 10 {
+		t.Fatalf("estimator saw %d observations after Sync, want 10", got)
+	}
+	if _, ok := e.TakeDrift("s"); !ok {
+		t.Fatal("observer-fed drift did not latch")
+	}
+}
+
+func TestObserverSyncAccountsForDrops(t *testing.T) {
+	e := NewEstimator(testConfig())
+	e.SetSessionModel("s", 1, "", []ModelCell{{Stage: "conv", PU: core.ClassGPU, Seconds: 0.010}})
+	stream := obs.NewStream(64)
+	o := NewObserver(e, stream, 1) // deliberately lossy
+	defer o.Close()
+
+	// Burst far past the buffer: many emissions drop — including,
+	// possibly, the very last ones. Sync must still reach the watermark
+	// because drops are counted at emit time.
+	for i := 0; i < 200; i++ {
+		stream.Emit(stageDone("s", "conv", core.ClassGPU, 0.020))
+	}
+	if !o.Sync(stream.Total(), 2*time.Second) {
+		t.Fatalf("Sync timed out despite drop accounting (drops=%d)", o.sub.Drops())
+	}
+	if o.sub.Drops() == 0 {
+		t.Fatal("setup: burst past a 1-slot buffer produced no drops")
+	}
+	// A trailing loss window is only reported on the next delivery: emit
+	// one recovery event, sync, and the loss must have invalidated the
+	// estimate floors exactly once along the way.
+	stream.Emit(stageDone("s", "conv", core.ClassGPU, 0.020))
+	if !o.Sync(stream.Total(), 2*time.Second) {
+		t.Fatal("post-recovery Sync timed out")
+	}
+	if e.Stats().Invalidations == 0 {
+		t.Fatal("drops occurred but no invalidation was recorded")
+	}
+}
+
+func TestObserverExcludesPreSubscribeEmissions(t *testing.T) {
+	stream := obs.NewStream(64)
+	for i := 0; i < 5; i++ {
+		stream.Emit(obs.Event{Kind: obs.KindAdmit})
+	}
+	o := NewObserver(NewEstimator(Config{}), stream, 8)
+	defer o.Close()
+	// The watermark includes the 5 unobservable pre-subscribe events;
+	// base accounting must cover them without any new emission.
+	if !o.Sync(stream.Total(), 2*time.Second) {
+		t.Fatal("Sync cannot account for pre-subscribe emissions")
+	}
+}
+
+func TestObserverNilSafety(t *testing.T) {
+	var o *Observer
+	if !o.Sync(99, time.Millisecond) {
+		t.Fatal("nil observer must report synced")
+	}
+	o.Close() // must not panic
+	if o.Estimator() != nil {
+		t.Fatal("nil observer returned an estimator")
+	}
+	if NewObserver(nil, obs.NewStream(4), 4) != nil {
+		t.Fatal("observer without estimator")
+	}
+	if NewObserver(NewEstimator(Config{}), nil, 4) != nil {
+		t.Fatal("observer without stream")
+	}
+}
+
+// TestConcurrentIngestionDuringChurn exercises the estimator under the
+// race detector: emitters on several goroutines while sessions churn
+// (register/remove) and readers snapshot stats, drift, and adjustments.
+func TestConcurrentIngestionDuringChurn(t *testing.T) {
+	e := NewEstimator(Config{MinSamples: 2, Hysteresis: 2})
+	stream := obs.NewStream(256)
+	o := NewObserver(e, stream, 256)
+	defer o.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			session := fmt.Sprintf("s%d", g)
+			for i := 0; i < 100; i++ {
+				e.SetSessionModel(session, int64(i), "gpu=8", []ModelCell{
+					{Stage: "conv", PU: core.ClassGPU, Seconds: 0.010},
+				})
+				stream.Emit(stageDone(session, "conv", core.ClassGPU, 0.021))
+				if i%10 == 9 {
+					e.TakeDrift(session)
+					e.RemoveSession(session)
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			e.Stats()
+			e.LearnedAdjust()
+			e.Estimate("conv", core.ClassGPU, "gpu=8")
+			if i%50 == 0 {
+				e.Invalidate()
+			}
+		}
+	}()
+	wg.Wait()
+	if !o.Sync(stream.Total(), 5*time.Second) {
+		t.Fatal("Sync timed out after churn")
+	}
+}

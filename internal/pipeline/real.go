@@ -202,6 +202,7 @@ func realRun(ctx context.Context, p *Plan, opts Options) runOutcome {
 						e := obs.NewEvent(obs.KindStageDone)
 						e.Chunk, e.Task = ci, task.Seq
 						e.Stage = p.App.Stages[s].Name
+						e.PU = string(chunk.PU)
 						e.Dur = service
 						ev.Emit(e)
 					}

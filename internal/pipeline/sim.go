@@ -192,6 +192,7 @@ func simRun(_ context.Context, p *Plan, opts Options) runOutcome {
 			si := c.stages[c.stagePos]
 			e.Chunk, e.Task = c.idx, c.task
 			e.Stage = p.App.Stages[si].Name
+			e.PU = string(c.pu)
 			e.Dur = simSeconds(eng.Now() - c.stageStart)
 			opts.Events.Emit(e)
 		}

@@ -21,6 +21,38 @@ import (
 // DefaultReps matches the paper's 30 repetitions per measurement.
 const DefaultReps = 30
 
+// Adjust rescales one profiled mean latency before it enters the table.
+// It receives the stage name, the PU class, and the measured mean in
+// seconds, and returns the value to store. Two producers use it: the
+// online profiler overlays learned observed/modeled ratios so replans
+// solve against corrected latencies, and experiments inject controlled
+// modeling error to exercise drift detection. A nil Adjust is identity.
+type Adjust func(stage string, pu core.PUClass, seconds float64) float64
+
+// Compose chains adjustments left to right; nil entries are skipped. A
+// call with no (effective) adjustments returns nil, keeping the
+// identity case representable as the nil Adjust.
+func Compose(adjusts ...Adjust) Adjust {
+	live := make([]Adjust, 0, len(adjusts))
+	for _, a := range adjusts {
+		if a != nil {
+			live = append(live, a)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return func(stage string, pu core.PUClass, seconds float64) float64 {
+		for _, a := range live {
+			seconds = a(stage, pu, seconds)
+		}
+		return seconds
+	}
+}
+
 // Config controls a profiling run.
 type Config struct {
 	// Reps is the measurement repetition count (DefaultReps when <= 0).
@@ -37,6 +69,11 @@ type Config struct {
 	// they model a co-runner contending for that class's bandwidth from
 	// the outside.
 	BaseEnv soc.Env
+	// Adjust, when non-nil, rescales every profiled mean before it is
+	// stored: learned online-profiling corrections, or injected modeling
+	// error in experiments. It sees the post-mean value, so repetition
+	// noise averages out before the correction applies.
+	Adjust Adjust
 }
 
 func (c Config) withDefaults() Config {
@@ -67,7 +104,11 @@ func Profile(app *core.Application, dev *soc.Device, mode core.ProfileMode, cfg 
 			for r := 0; r < cfg.Reps; r++ {
 				samples[r] = dev.Sample(stage.Cost, pu, env, rng)
 			}
-			table.Set(i, pu, stats.Mean(samples))
+			mean := stats.Mean(samples)
+			if cfg.Adjust != nil {
+				mean = cfg.Adjust(stage.Name, pu, mean)
+			}
+			table.Set(i, pu, mean)
 		}
 	}
 	return table
@@ -83,7 +124,7 @@ type Tables struct {
 func ProfileBoth(app *core.Application, dev *soc.Device, cfg Config) Tables {
 	return Tables{
 		Isolated: Profile(app, dev, core.Isolated, cfg),
-		Heavy:    Profile(app, dev, core.InterferenceHeavy, Config{Reps: cfg.Reps, Seed: cfg.Seed + 1, BaseEnv: cfg.BaseEnv}),
+		Heavy:    Profile(app, dev, core.InterferenceHeavy, Config{Reps: cfg.Reps, Seed: cfg.Seed + 1, BaseEnv: cfg.BaseEnv, Adjust: cfg.Adjust}),
 	}
 }
 

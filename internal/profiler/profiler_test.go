@@ -185,3 +185,65 @@ func TestInterferenceRatiosOmitsUnmeasuredClass(t *testing.T) {
 		}
 	}
 }
+
+func TestAdjustRescalesTable(t *testing.T) {
+	app := octree.NewApplication(4096, octree.UniformGen{})
+	dev := soc.NewPixel7a()
+	plain := Profile(app, dev, core.Isolated, Config{Seed: 3})
+	double := func(stage string, pu core.PUClass, s float64) float64 {
+		if stage == app.Stages[0].Name && pu == core.ClassGPU {
+			return 2 * s
+		}
+		return s
+	}
+	adj := Profile(app, dev, core.Isolated, Config{Seed: 3, Adjust: double})
+	for i := range plain.Stages {
+		for j, pu := range plain.PUs {
+			want := plain.Latency[i][j]
+			if i == 0 && pu == core.ClassGPU {
+				want *= 2
+			}
+			if adj.Latency[i][j] != want {
+				t.Fatalf("(%d,%s) = %v, want %v", i, pu, adj.Latency[i][j], want)
+			}
+		}
+	}
+	// ProfileBoth forwards the adjustment to both modes.
+	both := ProfileBoth(app, dev, Config{Seed: 3, Adjust: double})
+	if both.Isolated.Latency[0][indexOf(t, both.Isolated.PUs, core.ClassGPU)] != adj.Latency[0][indexOf(t, adj.PUs, core.ClassGPU)] {
+		t.Fatal("ProfileBoth dropped Adjust on the isolated table")
+	}
+	heavyPlain := Profile(app, dev, core.InterferenceHeavy, Config{Seed: 4})
+	j := indexOf(t, heavyPlain.PUs, core.ClassGPU)
+	if both.Heavy.Latency[0][j] != 2*heavyPlain.Latency[0][j] {
+		t.Fatal("ProfileBoth dropped Adjust on the heavy table")
+	}
+}
+
+func indexOf(t *testing.T, pus []core.PUClass, want core.PUClass) int {
+	t.Helper()
+	for j, pu := range pus {
+		if pu == want {
+			return j
+		}
+	}
+	t.Fatalf("class %s not in %v", want, pus)
+	return -1
+}
+
+func TestComposeChainsLeftToRight(t *testing.T) {
+	if Compose() != nil || Compose(nil, nil) != nil {
+		t.Fatal("Compose of no adjustments must stay the identity nil")
+	}
+	addOne := func(_ string, _ core.PUClass, s float64) float64 { return s + 1 }
+	timesTen := func(_ string, _ core.PUClass, s float64) float64 { return s * 10 }
+	if got := Compose(addOne, timesTen)("s", core.ClassGPU, 1); got != 20 {
+		t.Fatalf("Compose(add,mul)(1) = %v, want (1+1)*10 = 20", got)
+	}
+	if got := Compose(timesTen, addOne)("s", core.ClassGPU, 1); got != 11 {
+		t.Fatalf("Compose(mul,add)(1) = %v, want 1*10+1 = 11", got)
+	}
+	if got := Compose(nil, addOne, nil)("s", core.ClassGPU, 1); got != 2 {
+		t.Fatalf("Compose skipping nils = %v, want 2", got)
+	}
+}

@@ -60,7 +60,11 @@ func BenchmarkAdmitChurn(b *testing.B) {
 				}
 				apps = append(apps, app)
 			}
-			rt, err := New(Config{Device: dev, BWHeadroom: 8, CoreHeadroom: 8, Cache: mode.cache})
+			opts := []Option{WithHeadroom(8, 8)}
+			if mode.cache != nil {
+				opts = append(opts, WithSchedCache(mode.cache))
+			}
+			rt, err := New(dev, opts...)
 			if err != nil {
 				b.Fatal(err)
 			}

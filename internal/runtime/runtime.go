@@ -30,6 +30,7 @@ import (
 
 	"bettertogether/internal/core"
 	"bettertogether/internal/obs"
+	"bettertogether/internal/onlineprof"
 	"bettertogether/internal/pipeline"
 	"bettertogether/internal/profiler"
 	"bettertogether/internal/report"
@@ -101,6 +102,21 @@ type Config struct {
 	// against. The session still picks up the new environment for its
 	// next wave; only the solve is elided. 0 re-plans on every pass.
 	ReplanDelta float64
+	// OnlineProf, when non-nil, enables feedback-driven replanning: an
+	// online estimator ingests the event stream, learns per-(stage, PU,
+	// quantized Env) service times, and a session whose model estimates
+	// have drifted past the configured threshold is re-planned with the
+	// learned corrections overlaid on its profiled tables. When Events
+	// is an *obs.Stream the estimator subscribes to it directly;
+	// otherwise an internal stream is teed in.
+	OnlineProf *onlineprof.Config
+	// ModelAdjust, when non-nil, rescales every profiled latency before
+	// planning — the error-injection hook drift-convergence experiments
+	// use to simulate a miscalibrated model. ModelAdjustDigest must then
+	// be non-empty: it folds into schedule-cache keys so adjusted solves
+	// never collide with clean ones.
+	ModelAdjust       profiler.Adjust
+	ModelAdjustDigest string
 }
 
 // Runtime is a long-lived multi-application execution context bound to
@@ -110,22 +126,36 @@ type Runtime struct {
 	dev *soc.Device
 	eng pipeline.Engine
 
-	mu       sync.Mutex
-	nextID   int
-	resident map[int]*Session
-	history  []*Session
-	rejected int
-	skipped  int
-	closed   bool
+	// Online-profiling feedback loop (nil/zero unless Config.OnlineProf).
+	estimator *onlineprof.Estimator
+	observer  *onlineprof.Observer
+	stream    *obs.Stream
+
+	mu           sync.Mutex
+	nextID       int
+	resident     map[int]*Session
+	history      []*Session
+	rejected     int
+	skipped      int
+	driftReplans int
+	closed       bool
 }
 
-// New validates the configuration and builds an empty runtime.
-func New(cfg Config) (*Runtime, error) {
+// NewFromConfig validates a Config and builds an empty runtime.
+//
+// Deprecated: use New with functional options — it separates required
+// state (the device) from tunables and validates each option at the
+// call site instead of silently defaulting zero values. NewFromConfig
+// remains for callers that assemble configuration dynamically.
+func NewFromConfig(cfg Config) (*Runtime, error) {
 	if cfg.Device == nil {
 		return nil, fmt.Errorf("runtime: config has no device")
 	}
 	if err := cfg.Device.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.ModelAdjust != nil && cfg.ModelAdjustDigest == "" {
+		return nil, fmt.Errorf("runtime: ModelAdjust requires ModelAdjustDigest (schedule-cache keying)")
 	}
 	if cfg.Engine == nil {
 		cfg.Engine = pipeline.SimEngine{}
@@ -145,7 +175,26 @@ func New(cfg Config) (*Runtime, error) {
 	if cfg.K <= 0 {
 		cfg.K = DefaultReplanK
 	}
-	return &Runtime{cfg: cfg, dev: cfg.Device, eng: cfg.Engine, resident: map[int]*Session{}}, nil
+	rt := &Runtime{dev: cfg.Device, resident: map[int]*Session{}}
+	if cfg.OnlineProf != nil {
+		rt.estimator = onlineprof.NewEstimator(*cfg.OnlineProf)
+		stream, ok := cfg.Events.(*obs.Stream)
+		if !ok || stream == nil {
+			// No subscribable stream: tee one in so the estimator can
+			// ingest without the caller's sink seeing anything new.
+			stream = obs.NewStream(onlineProfRing)
+			if cfg.Events != nil {
+				cfg.Events = teeSink{cfg.Events, stream}
+			} else {
+				cfg.Events = stream
+			}
+		}
+		rt.stream = stream
+		rt.observer = onlineprof.NewObserver(rt.estimator, stream, onlineProfBuffer)
+	}
+	rt.cfg = cfg
+	rt.eng = cfg.Engine
+	return rt, nil
 }
 
 // Device returns the shared device.
@@ -210,6 +259,7 @@ func (rt *Runtime) Admit(app *core.Application, opts AdmitOptions) (*Session, er
 		e.Session = s.opts.Name
 		e.Detail = plan.Schedule.String()
 	})
+	rt.registerModel(s)
 	rt.replanLocked(s)
 	if !opts.Hold {
 		s.Start()
@@ -290,6 +340,7 @@ func (rt *Runtime) planLocked(app *core.Application, env soc.Env, opts AdmitOpti
 	if opts.Schedule != nil {
 		return pipeline.NewPlan(app, rt.dev, *opts.Schedule)
 	}
+	adjust, digest := rt.planAdjust()
 	var key string
 	if c := rt.cfg.Cache; c != nil {
 		env = schedcache.QuantizeEnv(env, c.Bucket())
@@ -298,6 +349,7 @@ func (rt *Runtime) planLocked(app *core.Application, env soc.Env, opts AdmitOpti
 			AutotuneTasks: rt.cfg.AutotuneTasks,
 			K:             rt.cfg.K,
 			Seed:          rt.cfg.Seed + opts.Seed,
+			Adjust:        digest,
 		})
 		if sc, ok := c.Get(key); ok {
 			return pipeline.NewPlan(app, rt.dev, sc)
@@ -307,6 +359,7 @@ func (rt *Runtime) planLocked(app *core.Application, env soc.Env, opts AdmitOpti
 		Reps:    rt.cfg.ProfileReps,
 		Seed:    rt.cfg.Seed + opts.Seed,
 		BaseEnv: env,
+		Adjust:  adjust,
 	})
 	opt := sched.New(app, rt.dev, tables)
 	opt.K = rt.cfg.K
@@ -347,16 +400,19 @@ func (rt *Runtime) replanLocked(except *Session) {
 		env := rt.envLocked(s)
 		if s.opts.Schedule != nil {
 			s.setEnv(env)
+			rt.registerModel(s)
 			continue
 		}
 		if d := rt.cfg.ReplanDelta; d > 0 && s.planEnvSnapshot().Delta(env) < d {
 			rt.skipped++
 			s.setEnv(env)
+			rt.registerModel(s)
 			continue
 		}
 		plan, err := rt.planLocked(s.app, env, s.opts, []core.Schedule{s.Schedule()})
 		if err != nil {
 			s.setEnv(env)
+			rt.registerModel(s)
 			continue
 		}
 		if s.setPlan(plan, env) {
@@ -366,6 +422,7 @@ func (rt *Runtime) replanLocked(except *Session) {
 				e.Detail = plan.Schedule.String()
 			})
 		}
+		rt.registerModel(s)
 	}
 }
 
@@ -379,6 +436,9 @@ func (rt *Runtime) exit(s *Session) {
 		return
 	}
 	delete(rt.resident, s.id)
+	if rt.estimator != nil {
+		rt.estimator.RemoveSession(s.opts.Name)
+	}
 	if !rt.closed {
 		rt.replanLocked(nil)
 	}
@@ -419,6 +479,7 @@ func (rt *Runtime) Close() {
 	for _, s := range residents {
 		<-s.Done()
 	}
+	rt.observer.Close()
 }
 
 // Report renders the per-session summary table and, when sessions

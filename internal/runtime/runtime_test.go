@@ -35,16 +35,19 @@ func mustDevice(t *testing.T, name string) *soc.Device {
 
 func mustRuntime(t *testing.T, cfg Config) *Runtime {
 	t.Helper()
-	rt, err := New(cfg)
+	rt, err := NewFromConfig(cfg)
 	if err != nil {
-		t.Fatalf("New: %v", err)
+		t.Fatalf("NewFromConfig: %v", err)
 	}
 	return rt
 }
 
 func TestNewRejectsMissingDevice(t *testing.T) {
-	if _, err := New(Config{}); err == nil {
-		t.Fatal("New accepted a config without a device")
+	if _, err := NewFromConfig(Config{}); err == nil {
+		t.Fatal("NewFromConfig accepted a config without a device")
+	}
+	if _, err := New(nil); err == nil {
+		t.Fatal("New accepted a nil device")
 	}
 }
 

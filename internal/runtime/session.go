@@ -113,6 +113,9 @@ type Session struct {
 	planEnv   soc.Env
 	replans   int
 	schedules []core.Schedule
+	// modelGen numbers the session's model registrations with the
+	// online-profiling estimator; each (re-)plan opens a generation.
+	modelGen int64
 
 	// Aggregates across waves. perTaskW is Σ perTask×tasks so PerTask is
 	// the completion-weighted mean; processed includes warmup (which also
@@ -212,6 +215,12 @@ func (s *Session) run() {
 			return
 		}
 		remaining -= n
+		if remaining > 0 {
+			// Wave boundary: let the online profiler act on drift it
+			// observed in this wave, so the replacement plan lands
+			// before the next wave snapshots.
+			s.rt.applyDrift(s)
+		}
 	}
 }
 
@@ -280,6 +289,14 @@ func (s *Session) setPlan(p *pipeline.Plan, env soc.Env) bool {
 	s.env = env
 	s.planEnv = env
 	return changed
+}
+
+// bumpModelGen opens the session's next model generation.
+func (s *Session) bumpModelGen() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.modelGen++
+	return s.modelGen
 }
 
 // planEnvSnapshot returns the environment the current plan was solved

@@ -133,6 +133,13 @@ type Knobs struct {
 	K             int
 	// Seed is the full planning seed (runtime seed + session seed).
 	Seed int64
+	// Adjust is a digest of any latency-table adjustment active during
+	// the solve (learned online-profiling overlays, injected modeling
+	// error). Empty means an unadjusted solve and renders nothing, so
+	// pre-existing keys are unchanged; any non-empty digest separates
+	// the entry — a corrected replan must never resolve to a schedule
+	// cached from uncorrected latencies, and vice versa.
+	Adjust string
 }
 
 // Key canonicalizes one planning instance. The environment component
@@ -164,6 +171,10 @@ func Key(fingerprint, device string, env soc.Env, bucket float64, knobs Knobs) s
 	}
 	fmt.Fprintf(&b, "|r=%d|a=%d|k=%d|s=%d",
 		knobs.ProfileReps, knobs.AutotuneTasks, knobs.K, knobs.Seed)
+	if knobs.Adjust != "" {
+		b.WriteString("|adj=")
+		b.WriteString(knobs.Adjust)
+	}
 	return b.String()
 }
 

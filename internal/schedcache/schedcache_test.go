@@ -405,3 +405,25 @@ func TestNewDefaults(t *testing.T) {
 		t.Errorf("NaN bucket resolved to %v", got)
 	}
 }
+
+func TestKeyAdjustDigestSeparates(t *testing.T) {
+	env := soc.Env{core.ClassGPU: {MemIntensity: 0.5}}
+	knobs := Knobs{ProfileReps: 8, AutotuneTasks: 12, K: 8, Seed: 1}
+	base := Key("fp", "dev", env, DefaultBucket, knobs)
+	if strings.Contains(base, "|adj=") {
+		t.Fatalf("empty Adjust leaked into key %q", base)
+	}
+	knobs.Adjust = "gpu/conv=2.03"
+	adj := Key("fp", "dev", env, DefaultBucket, knobs)
+	if adj == base {
+		t.Fatal("Adjust digest not folded into key")
+	}
+	if !strings.HasSuffix(adj, "|adj=gpu/conv=2.03") {
+		t.Fatalf("adjusted key %q lacks the digest suffix", adj)
+	}
+	// Distinct digests must never collide onto one entry.
+	knobs.Adjust = "gpu/conv=1.97"
+	if Key("fp", "dev", env, DefaultBucket, knobs) == adj {
+		t.Fatal("distinct Adjust digests collide")
+	}
+}

@@ -1,7 +1,9 @@
 package soc
 
 import (
+	"fmt"
 	"math"
+	"strings"
 
 	"bettertogether/internal/core"
 )
@@ -52,6 +54,34 @@ func (e Env) Overlay(other Env) Env {
 		out.Add(c, other[c])
 	}
 	return out
+}
+
+// Signature renders the environment's quantization-bucket identity as a
+// stable string: each class's MemIntensity rounded to the nearest
+// multiple of bucket (clamped into [0,1], NaN-free), classes in sorted
+// order, zero buckets dropped. Two environments that quantize to the
+// same bucket share a signature; nil, empty, and all-zero environments
+// all render "". The online profiler keys its per-(stage, PU, Env)
+// estimate cells on this, so near-identical interference contexts pool
+// their samples instead of fragmenting into singleton cells. A
+// non-positive (or NaN/Inf) bucket falls back to 0.05, matching
+// schedcache.DefaultBucket.
+func (e Env) Signature(bucket float64) string {
+	if bucket <= 0 || math.IsNaN(bucket) || math.IsInf(bucket, 0) {
+		bucket = 0.05
+	}
+	var b strings.Builder
+	for _, c := range e.BusyClasses() {
+		idx := int(math.Floor(clampIntensity(e[c].MemIntensity)/bucket + 0.5))
+		if idx == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%d", c, idx)
+	}
+	return b.String()
 }
 
 // Delta returns the L∞ distance between two environments: the largest
