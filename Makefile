@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all check vet build test race bench bench-suite bench-churn drift-smoke
+.PHONY: all check vet build test race bench bench-suite bench-churn bench-fleet drift-smoke
 
 all: check
 
@@ -61,6 +61,17 @@ bench-churn:
 	.bench/btbench -exp churn -churn-min-speedup $(CHURN_MIN_SPEEDUP) \
 	  -bench-json .bench/BENCH_6.json \
 	  $(if $(CHURN_GATE),-bench-gate $(CHURN_GATE) -gate-tolerance 10,)
+
+# bench-fleet runs the fleet placement-throughput scaling sweep (banded
+# headroom index vs exhaustive ranking over 10/100/1000-node fleets) and
+# writes the samples to .bench/BENCH_9.json. Pure wall-clock throughput,
+# so the rows record the trajectory without a regression gate; the
+# banded/exhaustive *outcome* equivalence is pinned by the fleet
+# package's tests instead.
+bench-fleet:
+	@mkdir -p .bench
+	$(GO) build -o .bench/btbench ./cmd/btbench
+	.bench/btbench -exp fleetscale -bench-json .bench/BENCH_9.json
 
 # drift-smoke runs the online-profiling drift-convergence experiment
 # twice. btbench itself gates the feedback contract (oracle run quiet,

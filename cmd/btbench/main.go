@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e0, table1, table2, fig1, table3, fig4, fig5, fig6, table4, fig7, abl-dp, abl-k, abl-buffers, abl-reps, ext-energy, churn, fleet, drift, all)")
+	exp := flag.String("exp", "all", "experiment id (e0, table1, table2, fig1, table3, fig4, fig5, fig6, table4, fig7, abl-dp, abl-k, abl-buffers, abl-reps, ext-energy, churn, fleet, fleetscale, drift, all)")
 	parallel := flag.Bool("parallel", false, "fan experiment grids across GOMAXPROCS-bounded workers (deterministic: output matches the serial run)")
 	timing := flag.Bool("time", false, "report per-experiment and total wall-clock to stderr")
 	listen := flag.String("listen", "", "serve liveness, pprof and per-experiment progress events over HTTP while the suite runs")
@@ -141,6 +141,27 @@ func runChurn(o churnOpts, planner *cli.PlannerFlags) error {
 	}
 	if o.minSpeedup > 0 && res.Speedup < o.minSpeedup {
 		return fmt.Errorf("churn cache speedup %.1fx below required %.1fx", res.Speedup, o.minSpeedup)
+	}
+	return nil
+}
+
+// runFleetScale runs the placement-throughput scaling sweep and
+// optionally writes its samples as github-action-benchmark JSON
+// (BENCH_9.json in CI). The values are wall-clock measurements, so no
+// -bench-gate comparison applies — the report is a trajectory artifact.
+func runFleetScale(o churnOpts) error {
+	res, body, err := experiments.FleetScale(experiments.FleetScaleConfig{Seed: 1})
+	if err != nil {
+		return err
+	}
+	fmt.Print(body)
+	if o.jsonPath != "" {
+		rep := benchjson.NewReport()
+		rep.Benches = res.Benches()
+		if err := benchjson.Write(o.jsonPath, rep); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "btbench: wrote %s\n", o.jsonPath)
 	}
 	return nil
 }
@@ -277,6 +298,11 @@ func run(s *experiments.Suite, id string, churn churnOpts, planner *cli.PlannerF
 			return err
 		}
 		fmt.Print(report.Section("Fleet replay", out.Render()))
+	case "fleetscale":
+		// Wall-clock dependent (it times the placement sweep itself), so
+		// it records the BENCH_9.json trajectory without a CI gate and
+		// stays out of -exp all.
+		return runFleetScale(churn)
 	default:
 		return fmt.Errorf("unknown experiment %q", id)
 	}

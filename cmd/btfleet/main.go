@@ -9,6 +9,8 @@
 //	btfleet -apps octree,vision -affinity vision=jetson
 //	btfleet -emit-trace trace.json                # save the generated trace
 //	btfleet -trace trace.json                     # replay a saved trace
+//	btfleet -drain-node jetson/0 -drain-at 20     # cordon a node mid-replay, migrate its held sessions
+//	btfleet -index-bands -1                       # exhaustive placement ranking (no banded index)
 //	btfleet -json                                 # machine-readable replay result
 //
 // The replay is deterministic: one trace, one seed, one byte-identical
@@ -47,6 +49,9 @@ func main() {
 	affinity := flag.String("affinity", "", "placement affinity: comma-separated <app>=<device> pairs")
 	bwHeadroom := flag.Float64("bw-headroom", 0, "per-node DRAM bandwidth headroom factor (0 = runtime default)")
 	coreHeadroom := flag.Float64("core-headroom", 0, "per-node PU core headroom factor (0 = runtime default)")
+	indexBands := flag.Int("index-bands", 0, "headroom bands in the placement index (0 = default, negative = exhaustive ranking)")
+	drainNode := flag.String("drain-node", "", "drain this node mid-replay, migrating its held sessions (requires -drain-at)")
+	drainAt := flag.Float64("drain-at", -1, "logical time of the -drain-node drain, virtual seconds")
 	planner := cli.AddPlannerFlags(flag.CommandLine)
 	jsonOut := flag.Bool("json", false, "print the replay result as JSON instead of tables")
 	listen := flag.String("listen", "", "serve observability HTTP after the replay (/metrics carries the bt_fleet_* families)")
@@ -65,6 +70,12 @@ func main() {
 		if v.val < 0 || math.IsNaN(v.val) || math.IsInf(v.val, 0) {
 			cli.Fatalf("btfleet", "%s must be a finite value >= 0 (0 selects the runtime default), got %v", v.name, v.val)
 		}
+	}
+	if *drainNode != "" && (*drainAt < 0 || math.IsNaN(*drainAt) || math.IsInf(*drainAt, 0)) {
+		cli.Fatalf("btfleet", "-drain-node requires -drain-at set to a finite time >= 0, got %v", *drainAt)
+	}
+	if *drainNode == "" && *drainAt >= 0 {
+		cli.Fatalf("btfleet", "-drain-at %v has no effect without -drain-node", *drainAt)
 	}
 
 	specs, err := fleet.ParseNodeSpecs(*nodes)
@@ -92,7 +103,11 @@ func main() {
 		CacheBucket:   planner.CacheBucket,
 		Affinity:      aff,
 		OnlineProf:    planner.OnlineProf(),
+		IndexBands:    *indexBands,
 		Seed:          *seed,
+	}
+	if *drainNode != "" {
+		cfg.Replay = fleet.ReplayOptions{DrainNode: *drainNode, DrainAt: *drainAt}
 	}
 	if *tracePath != "" {
 		f, err := os.Open(*tracePath)

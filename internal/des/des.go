@@ -10,11 +10,13 @@ import (
 	"fmt"
 )
 
-// event is a scheduled callback. seq breaks time ties in schedule order,
-// which makes runs deterministic regardless of map iteration or goroutine
+// event is a scheduled callback. prio orders events sharing a timestamp
+// (lower runs first); seq breaks remaining ties in schedule order, which
+// makes runs deterministic regardless of map iteration or goroutine
 // scheduling.
 type event struct {
 	time float64
+	prio int
 	seq  int64
 	fn   func()
 }
@@ -25,6 +27,9 @@ func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
+	}
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
 	}
 	return h[i].seq < h[j].seq
 }
@@ -68,12 +73,21 @@ func (e *Engine) Schedule(delay float64, fn func()) {
 }
 
 // At runs fn at absolute virtual time t, which must not be in the past.
-func (e *Engine) At(t float64, fn func()) {
+// Events scheduled through At and Schedule run at priority 0.
+func (e *Engine) At(t float64, fn func()) { e.AtPrio(t, 0, fn) }
+
+// AtPrio runs fn at absolute virtual time t with an explicit priority:
+// among events sharing a timestamp, lower priorities run first, and
+// schedule order (seq) breaks remaining ties. Priorities let a caller
+// express same-instant ordering rules — e.g. a fleet replay processing
+// departures before control-plane sweeps before arrivals — without
+// epsilon time offsets that would leak into reported timestamps.
+func (e *Engine) AtPrio(t float64, prio int, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("des: scheduling at %v before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, &event{time: t, seq: e.seq, fn: fn})
+	heap.Push(&e.events, &event{time: t, prio: prio, seq: e.seq, fn: fn})
 }
 
 // Step executes the single earliest event and reports whether one

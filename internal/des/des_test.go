@@ -173,3 +173,68 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	b.ResetTimer()
 	e.Run()
 }
+
+// TestPriorityOrdersWithinTimestamp pins AtPrio's contract: among events
+// sharing a timestamp, lower priorities run first regardless of schedule
+// order, and schedule order still breaks ties within one priority.
+func TestPriorityOrdersWithinTimestamp(t *testing.T) {
+	e := New()
+	var order []string
+	e.AtPrio(1, 2, func() { order = append(order, "arrival-a") })
+	e.AtPrio(1, 0, func() { order = append(order, "depart-a") })
+	e.AtPrio(1, 2, func() { order = append(order, "arrival-b") })
+	e.AtPrio(1, 1, func() { order = append(order, "control") })
+	e.AtPrio(1, 0, func() { order = append(order, "depart-b") })
+	e.Run()
+	want := []string{"depart-a", "depart-b", "control", "arrival-a", "arrival-b"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestPriorityDoesNotCrossTimestamps pins that time always dominates
+// priority: a low-priority event at an earlier time runs before a
+// high-priority event at a later one.
+func TestPriorityDoesNotCrossTimestamps(t *testing.T) {
+	e := New()
+	var order []string
+	e.AtPrio(2, -5, func() { order = append(order, "late-urgent") })
+	e.AtPrio(1, 5, func() { order = append(order, "early-lazy") })
+	e.Run()
+	if order[0] != "early-lazy" || order[1] != "late-urgent" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+// TestDefaultPriorityIsZero pins that At and Schedule interleave with
+// explicit priority 0 events purely by schedule order — existing callers
+// see no behavior change from the priority extension.
+func TestDefaultPriorityIsZero(t *testing.T) {
+	e := New()
+	var order []int
+	e.At(1, func() { order = append(order, 1) })
+	e.AtPrio(1, 0, func() { order = append(order, 2) })
+	e.Schedule(1, func() { order = append(order, 3) })
+	e.Run()
+	for i, v := range []int{1, 2, 3} {
+		if order[i] != v {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+// TestAtPrioInPastPanics pins the shared past-scheduling guard.
+func TestAtPrioInPastPanics(t *testing.T) {
+	e := New()
+	e.Schedule(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		e.AtPrio(3, -1, func() {})
+	})
+	e.Run()
+}

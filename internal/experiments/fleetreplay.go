@@ -30,6 +30,13 @@ type FleetReplayConfig struct {
 	CacheBucket   float64
 	Affinity      map[string]string
 	OnlineProf    *onlineprof.Config
+	// IndexBands forwards to fleet.Config.IndexBands (0 selects the
+	// banded-index default, negative the exhaustive rank).
+	IndexBands int
+	// Replay schedules control-plane events (drain, rebalance sweeps,
+	// stats sampling) onto the replay timeline; the zero value replays
+	// the trace alone.
+	Replay fleet.ReplayOptions
 	// Seed drives the node runtimes' noise streams.
 	Seed int64
 	// Events forwards to fleet.Config.Events.
@@ -87,9 +94,10 @@ type FleetReplayOutcome struct {
 	OnlineProfEnabled bool
 }
 
-// FleetReplay builds a fleet from the config, replays the trace in
-// logical-time lockstep, and tears the fleet down. The same config
-// yields a byte-identical outcome on every run.
+// FleetReplay builds a fleet from the config, replays the trace on the
+// discrete-event timeline (control-plane events included), and tears
+// the fleet down. The same config yields a byte-identical outcome on
+// every run.
 func FleetReplay(cfg FleetReplayConfig) (FleetReplayOutcome, error) {
 	cfg = cfg.withDefaults()
 	out := FleetReplayOutcome{Trace: cfg.Trace}
@@ -109,6 +117,7 @@ func FleetReplay(cfg FleetReplayConfig) (FleetReplayOutcome, error) {
 		CacheCapacity: cfg.CacheCapacity,
 		CacheBucket:   cfg.CacheBucket,
 		Affinity:      cfg.Affinity,
+		IndexBands:    cfg.IndexBands,
 		Events:        cfg.Events,
 		OnlineProf:    cfg.OnlineProf,
 	})
@@ -116,7 +125,7 @@ func FleetReplay(cfg FleetReplayConfig) (FleetReplayOutcome, error) {
 		return out, err
 	}
 	defer f.Close()
-	out.Result, err = f.Replay(out.Trace)
+	out.Result, err = f.ReplayWith(out.Trace, cfg.Replay)
 	if err != nil {
 		return out, err
 	}
@@ -155,6 +164,16 @@ func (o FleetReplayOutcome) Render() string {
 	sum.AddRow("spillovers", fmt.Sprintf("%d", o.Result.Spilled))
 	sum.AddRow("rejected", fmt.Sprintf("%d", o.Result.Rejected))
 	sum.AddRow("rejection rate", o.Result.RejectionRate())
+	// Control-plane rows appear only when a drain actually ran, so the
+	// default replay report stays byte-identical with or without the
+	// drain machinery existing.
+	for _, d := range o.Result.Drains {
+		sum.AddRow(fmt.Sprintf("drain %s at %s", d.Node, report.F2(d.At)),
+			fmt.Sprintf("%d migrated", d.Migrated))
+	}
+	if o.Result.Migrated > 0 {
+		sum.AddRow("migrations", fmt.Sprintf("%d", o.Result.Migrated))
+	}
 	sum.AddRow("p50 latency (s)", report.F4(o.Result.P50))
 	sum.AddRow("p99 latency (s)", report.F4(o.Result.P99))
 	if o.OnlineProfEnabled {

@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"bettertogether/internal/benchjson"
+	"bettertogether/internal/core"
+	"bettertogether/internal/fleet"
+	"bettertogether/internal/report"
+	"bettertogether/internal/runtime"
+	"bettertogether/pkg/btapps"
+)
+
+// FleetScaleConfig parameterizes the placement-throughput scaling
+// sweep: how fast the fleet routes arrivals as the registry grows, with
+// the banded headroom index against the exhaustive O(nodes) rank.
+type FleetScaleConfig struct {
+	// Sizes are the registry sizes to sweep (empty selects 10, 100,
+	// 1000 — the fleet-scale trajectory points).
+	Sizes []int
+	// ArrivalsPerNode scales the workload with the registry so every
+	// size sees the same per-node load (<= 0 selects 2).
+	ArrivalsPerNode int
+	// App is the arriving application (empty selects octree). Sessions
+	// are admitted held with a pinned all-big-core schedule, so the
+	// measurement isolates the placement sweep from the planning
+	// pipeline.
+	App string
+	// IndexBands forwards to the banded fleet's Config.IndexBands
+	// (0 selects the default).
+	IndexBands int
+	// Seed drives the node runtimes.
+	Seed int64
+}
+
+func (c FleetScaleConfig) withDefaults() FleetScaleConfig {
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int{10, 100, 1000}
+	}
+	if c.ArrivalsPerNode <= 0 {
+		c.ArrivalsPerNode = 2
+	}
+	if c.App == "" {
+		c.App = "octree"
+	}
+	return c
+}
+
+// FleetScalePoint is one registry size's measurement.
+type FleetScalePoint struct {
+	// Nodes is the registry size; Arrivals how many placements ran per
+	// mode.
+	Nodes    int
+	Arrivals int
+	// BandedNs and ExhaustiveNs are mean wall nanoseconds per placement
+	// for the two sweep implementations; Speedup their ratio
+	// (exhaustive/banded, > 1 means the index wins).
+	BandedNs     float64
+	ExhaustiveNs float64
+	Speedup      float64
+}
+
+// FleetScaleResult is the sweep across sizes.
+type FleetScaleResult struct {
+	Points []FleetScalePoint
+}
+
+// Benches renders the sweep as github-action-benchmark samples — the
+// BENCH_9.json payload. Placement latencies carry the ns/op unit;
+// the per-size speedups are ratios. Wall-clock dependent, so the rows
+// record the trajectory rather than gate CI.
+func (r FleetScaleResult) Benches() []benchjson.Bench {
+	var out []benchjson.Bench
+	for _, p := range r.Points {
+		extra := fmt.Sprintf("%d placements over %d nodes", p.Arrivals, p.Nodes)
+		out = append(out,
+			benchjson.Bench{Name: fmt.Sprintf("fleet-scale/place/nodes=%d/index=banded", p.Nodes),
+				Value: p.BandedNs, Unit: "ns/op", Extra: extra},
+			benchjson.Bench{Name: fmt.Sprintf("fleet-scale/place/nodes=%d/index=exhaustive", p.Nodes),
+				Value: p.ExhaustiveNs, Unit: "ns/op", Extra: extra},
+			benchjson.Bench{Name: fmt.Sprintf("fleet-scale/speedup/nodes=%d", p.Nodes),
+				Value: p.Speedup, Unit: "x", Extra: extra},
+		)
+	}
+	return out
+}
+
+// fleetScaleSpec spreads a registry size across the three phone/edge
+// device classes so the sweep ranks a heterogeneous fleet, not n copies
+// of one headroom profile.
+func fleetScaleSpec(n int) []fleet.NodeSpec {
+	devices := []string{"pixel7a", "oneplus11", "jetson"}
+	counts := make([]int, len(devices))
+	for i := 0; i < n; i++ {
+		counts[i%len(devices)]++
+	}
+	var specs []fleet.NodeSpec
+	for i, d := range devices {
+		if counts[i] > 0 {
+			specs = append(specs, fleet.NodeSpec{Device: d, Count: counts[i]})
+		}
+	}
+	return specs
+}
+
+// fleetScaleRun times ArrivalsPerNode*nodes held placements on a fresh
+// fleet and returns mean wall nanoseconds per placement.
+func fleetScaleRun(cfg FleetScaleConfig, nodes, indexBands int) (float64, int, error) {
+	app, err := btapps.ByName(cfg.App)
+	if err != nil {
+		return 0, 0, err
+	}
+	sched := core.Schedule{Assign: make([]core.PUClass, len(app.Stages))}
+	for i := range sched.Assign {
+		sched.Assign[i] = core.ClassBig
+	}
+	f, err := fleet.New(fleet.Config{
+		Nodes:      fleetScaleSpec(nodes),
+		Seed:       cfg.Seed,
+		IndexBands: indexBands,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+
+	arrivals := cfg.ArrivalsPerNode * nodes
+	start := time.Now()
+	for i := 0; i < arrivals; i++ {
+		_, err := f.Place(app, runtime.AdmitOptions{
+			Name:     fmt.Sprintf("%s#%d", cfg.App, i),
+			Tasks:    2,
+			Hold:     true,
+			Schedule: &sched,
+		})
+		if err != nil {
+			return 0, 0, fmt.Errorf("fleet-scale: %d nodes, arrival %d: %w", nodes, i, err)
+		}
+	}
+	elapsed := time.Since(start)
+	return float64(elapsed.Nanoseconds()) / float64(arrivals), arrivals, nil
+}
+
+// FleetScale sweeps registry sizes and measures placement throughput
+// for the banded index against the exhaustive rank. Placement outcomes
+// of the two modes are pinned identical by the fleet package's
+// equivalence test; this experiment records what the equivalence costs.
+func FleetScale(cfg FleetScaleConfig) (FleetScaleResult, string, error) {
+	cfg = cfg.withDefaults()
+	var res FleetScaleResult
+	for _, n := range cfg.Sizes {
+		if n <= 0 {
+			return res, "", fmt.Errorf("fleet-scale: non-positive size %d", n)
+		}
+		bandedNs, arrivals, err := fleetScaleRun(cfg, n, cfg.IndexBands)
+		if err != nil {
+			return res, "", err
+		}
+		exhaustiveNs, _, err := fleetScaleRun(cfg, n, -1)
+		if err != nil {
+			return res, "", err
+		}
+		p := FleetScalePoint{
+			Nodes:        n,
+			Arrivals:     arrivals,
+			BandedNs:     bandedNs,
+			ExhaustiveNs: exhaustiveNs,
+		}
+		if bandedNs > 0 {
+			p.Speedup = exhaustiveNs / bandedNs
+		}
+		res.Points = append(res.Points, p)
+	}
+
+	var b strings.Builder
+	tab := report.NewTable("Fleet placement scaling",
+		"nodes", "placements", "banded ns/place", "exhaustive ns/place", "speedup")
+	for _, p := range res.Points {
+		tab.AddRow(
+			fmt.Sprintf("%d", p.Nodes),
+			fmt.Sprintf("%d", p.Arrivals),
+			fmt.Sprintf("%.0f", p.BandedNs),
+			fmt.Sprintf("%.0f", p.ExhaustiveNs),
+			fmt.Sprintf("%.2fx", p.Speedup),
+		)
+	}
+	b.WriteString(tab.Render())
+	return res, b.String(), nil
+}

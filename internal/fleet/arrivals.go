@@ -24,6 +24,11 @@ type Arrival struct {
 	Tasks int `json:"tasks,omitempty"`
 	// Seed drives the session's simulation-noise stream.
 	Seed int64 `json:"seed,omitempty"`
+	// Session optionally names the session; empty derives the replay
+	// default "<app>#<trace-index>". Non-empty names must be unique
+	// across the trace (DecodeTrace rejects duplicates — session names
+	// key the fleet's active-session tracking and must be fleet-unique).
+	Session string `json:"session,omitempty"`
 }
 
 // Trace is a replayable arrival sequence, ordered by At.
@@ -131,7 +136,11 @@ func (t Trace) Encode(w io.Writer) error {
 }
 
 // DecodeTrace reads a JSON trace and validates it for replay: known
-// shape, non-negative times, non-decreasing order.
+// shape, non-negative times and dwells, non-decreasing arrival order,
+// and unique session names. Each violation gets its own descriptive
+// error naming the offending arrival and values, so a hand-edited
+// trace fails with a pointer to the line that broke it rather than a
+// generic rejection.
 func DecodeTrace(r io.Reader) (Trace, error) {
 	var t Trace
 	dec := json.NewDecoder(r)
@@ -140,12 +149,25 @@ func DecodeTrace(r io.Reader) (Trace, error) {
 		return Trace{}, fmt.Errorf("fleet: decode trace: %w", err)
 	}
 	prev := 0.0
+	sessions := map[string]int{}
 	for i, a := range t.Arrivals {
 		if a.App == "" {
 			return Trace{}, fmt.Errorf("fleet: decode trace: arrival %d has no app", i)
 		}
-		if a.At < prev || a.Dwell < 0 {
-			return Trace{}, fmt.Errorf("fleet: decode trace: arrival %d out of order or negative (at=%v dwell=%v)", i, a.At, a.Dwell)
+		if a.At < 0 {
+			return Trace{}, fmt.Errorf("fleet: decode trace: arrival %d has negative time at=%v", i, a.At)
+		}
+		if a.At < prev {
+			return Trace{}, fmt.Errorf("fleet: decode trace: arrival %d at=%v is non-monotonic: earlier than arrival %d at=%v", i, a.At, i-1, prev)
+		}
+		if a.Dwell < 0 {
+			return Trace{}, fmt.Errorf("fleet: decode trace: arrival %d has negative dwell=%v", i, a.Dwell)
+		}
+		if a.Session != "" {
+			if j, dup := sessions[a.Session]; dup {
+				return Trace{}, fmt.Errorf("fleet: decode trace: arrival %d reuses session ID %q already used by arrival %d", i, a.Session, j)
+			}
+			sessions[a.Session] = i
 		}
 		prev = a.At
 	}

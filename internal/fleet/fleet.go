@@ -33,6 +33,7 @@ import (
 	"sync"
 	"time"
 
+	"bettertogether/internal/core"
 	"bettertogether/internal/metrics"
 	"bettertogether/internal/obs"
 	"bettertogether/internal/onlineprof"
@@ -82,6 +83,13 @@ type Config struct {
 	// crosses into non-preferred classes only when every preferred node
 	// refuses. Unlisted applications rank purely by headroom.
 	Affinity map[string]string
+	// IndexBands sizes the banded placement index: scores quantize into
+	// this many headroom bands so an arrival sweeps best-band-first
+	// instead of scoring the whole registry. 0 selects
+	// DefaultIndexBands; negative disables the index entirely and every
+	// arrival falls back to the exhaustive O(nodes) rank — the reference
+	// order the index is equivalence-tested against.
+	IndexBands int
 	// Events, when non-nil, receives every node runtime's events plus the
 	// fleet's own KindPlace placement decisions and KindReject fleet-wide
 	// rejections.
@@ -155,8 +163,20 @@ type Node struct {
 	// RT is the node's runtime; all placement goes through its Admit.
 	RT *runtime.Runtime
 
-	placed   int // sessions landed here (fleet mu)
-	rejected int // admission refusals incl. spillover probes (fleet mu)
+	placed   int  // sessions landed here (fleet mu)
+	rejected int  // admission refusals incl. spillover probes (fleet mu)
+	drained  bool // cordoned out of placement (fleet mu)
+}
+
+// activeSession is the fleet's view of one session it placed and has
+// not yet seen depart: enough to re-place it verbatim during a drain
+// migration. Guarded by the fleet mutex.
+type activeSession struct {
+	seq  int // placement sequence, the deterministic migration order
+	app  *core.Application
+	opts runtime.AdmitOptions
+	node *Node
+	sess *runtime.Session
 }
 
 // Fleet is a registry of device nodes plus the placement service routing
@@ -166,13 +186,16 @@ type Fleet struct {
 	nodes []*Node
 	cache *schedcache.Cache
 
-	mu       sync.Mutex
-	seq      int // placement sequence, names sessions fleet-uniquely
-	arrivals int
-	placed   int
-	spills   int
-	rejected int
-	latency  metrics.Histogram
+	mu         sync.Mutex
+	index      *bandIndex // nil when Config.IndexBands < 0
+	active     map[string]*activeSession
+	seq        int // placement sequence, names sessions fleet-uniquely
+	arrivals   int
+	placed     int
+	spills     int
+	rejected   int
+	migrations int
+	latency    metrics.Histogram
 }
 
 // New validates the configuration and builds the registry: one fresh
@@ -181,7 +204,7 @@ func New(cfg Config) (*Fleet, error) {
 	if len(cfg.Nodes) == 0 {
 		return nil, fmt.Errorf("fleet: config declares no nodes")
 	}
-	f := &Fleet{cfg: cfg}
+	f := &Fleet{cfg: cfg, active: map[string]*activeSession{}}
 	if cfg.CacheCapacity > 0 {
 		f.cache = schedcache.New(cfg.CacheCapacity, cfg.CacheBucket)
 	}
@@ -205,7 +228,56 @@ func New(cfg Config) (*Fleet, error) {
 			})
 		}
 	}
+	if cfg.IndexBands >= 0 {
+		bands := cfg.IndexBands
+		if bands == 0 {
+			bands = DefaultIndexBands
+		}
+		f.index = newBandIndex(bands)
+		for _, n := range f.nodes {
+			f.index.update(n, headroomScore(n.RT.AdmissionHeadroom()))
+		}
+	}
 	return f, nil
+}
+
+// nodeByIDLocked resolves a node ID; nil when unknown.
+func (f *Fleet) nodeByIDLocked(id string) *Node {
+	for _, n := range f.nodes {
+		if n.ID == id {
+			return n
+		}
+	}
+	return nil
+}
+
+// trackLocked records a just-placed session so drains can migrate it
+// and departures can unfile it.
+func (f *Fleet) trackLocked(name string, app *core.Application, opts runtime.AdmitOptions, n *Node, s *runtime.Session) {
+	f.active[name] = &activeSession{seq: f.seq, app: app, opts: opts, node: n, sess: s}
+}
+
+// refileLocked refreshes one node's cached score in the banded index
+// after its projected demand moved (admit, departure, migration).
+// Drained nodes stay unfiled.
+func (f *Fleet) refileLocked(n *Node) {
+	if f.index == nil || n.drained {
+		return
+	}
+	f.index.update(n, headroomScore(n.RT.AdmissionHeadroom()))
+}
+
+// departed unfiles a completed session and refreshes its node's index
+// position — the replay departure hook.
+func (f *Fleet) departed(name string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	e, ok := f.active[name]
+	if !ok {
+		return
+	}
+	delete(f.active, name)
+	f.refileLocked(e.node)
 }
 
 // nodeOptions maps the fleet configuration onto one node runtime's
@@ -312,12 +384,13 @@ func (f *Fleet) observeLatency(elapsedSec float64) {
 func (f *Fleet) Stats() obs.FleetStats {
 	f.mu.Lock()
 	s := obs.FleetStats{
-		Nodes:    len(f.nodes),
-		Arrivals: f.arrivals,
-		Placed:   f.placed,
-		Spills:   f.spills,
-		Rejected: f.rejected,
-		Latency:  &f.latency,
+		Nodes:      len(f.nodes),
+		Arrivals:   f.arrivals,
+		Placed:     f.placed,
+		Spills:     f.spills,
+		Rejected:   f.rejected,
+		Migrations: f.migrations,
+		Latency:    &f.latency,
 	}
 	perNode := make([]obs.FleetNodeStats, len(f.nodes))
 	for i, n := range f.nodes {
@@ -326,6 +399,10 @@ func (f *Fleet) Stats() obs.FleetStats {
 			Device:   n.Device.Name,
 			Placed:   n.placed,
 			Rejected: n.rejected,
+			Drained:  n.drained,
+		}
+		if n.drained {
+			s.Drained++
 		}
 	}
 	f.mu.Unlock()

@@ -123,7 +123,7 @@ func TestPlacementPrefersHeadroom(t *testing.T) {
 // TestPlacementSpillover pins the spillover path: when the first-ranked
 // node refuses with an admission error, the arrival lands on the next
 // candidate and is counted as a spill. Both nodes are idle (tied score,
-// registry order breaks the tie toward the jetson), but vision's
+// node-ID order breaks the tie toward jetson/0), but vision's
 // projected DRAM draw (~47.7 GB/s) exceeds the jetson's unscaled 45 GB/s
 // while fitting comfortably on the pixel — so the sweep must cross
 // nodes.

@@ -54,9 +54,24 @@ type Placement struct {
 // candidate pairs a node with its placement score for ranking.
 type candidate struct {
 	node      *Node
-	idx       int // registry index, the deterministic tiebreak
 	preferred bool
 	score     float64
+}
+
+// less is the fleet-wide candidate order: affinity-preferred nodes
+// first, then descending headroom score, then ascending node ID — the
+// explicit, registry-order-independent tie-break for equal scores
+// (pinned by TestRankTiesBreakByNodeID). Both the exhaustive rank and
+// the banded index sort with it, which is what keeps their sweeps
+// identical.
+func (c candidate) less(o candidate) bool {
+	if c.preferred != o.preferred {
+		return c.preferred
+	}
+	if c.score != o.score {
+		return c.score > o.score
+	}
+	return c.node.ID < o.node.ID
 }
 
 // headroomScore is the interference-headroom objective placement ranks
@@ -80,41 +95,83 @@ func headroomScore(h obs.Headroom) float64 {
 	return bw
 }
 
-// rank orders the registry for one arrival: nodes of the application's
-// affinity class (if configured) ahead of everything else, then by
-// descending headroom score, then by registry index so equal scores
-// break deterministically.
+// rank orders the registry for one arrival by exhaustively scoring
+// every placeable node. It reads every node runtime's headroom — O(n)
+// per arrival — so placement only uses it when the banded index is
+// disabled (Config.IndexBands < 0); it remains the reference order the
+// index is checked against.
 func (f *Fleet) rank(app string) []candidate {
 	affinity := f.cfg.Affinity[app]
-	cands := make([]candidate, len(f.nodes))
-	for i, n := range f.nodes {
-		cands[i] = candidate{
+	cands := make([]candidate, 0, len(f.nodes))
+	for _, n := range f.nodes {
+		if n.drained {
+			continue
+		}
+		cands = append(cands, candidate{
 			node:      n,
-			idx:       i,
 			preferred: affinity != "" && n.Device.Name == affinity,
 			score:     headroomScore(n.RT.AdmissionHeadroom()),
-		}
+		})
 	}
-	sort.SliceStable(cands, func(a, b int) bool {
-		if cands[a].preferred != cands[b].preferred {
-			return cands[a].preferred
-		}
-		if cands[a].score != cands[b].score {
-			return cands[a].score > cands[b].score
-		}
-		return cands[a].idx < cands[b].idx
-	})
+	sort.Slice(cands, func(a, b int) bool { return cands[a].less(cands[b]) })
 	return cands
 }
 
+// sweepLocked yields placement candidates for one application in rank
+// order until yield returns false, skipping exclude (the migration
+// source). With the index enabled only visited bands are scored and
+// sorted; otherwise it falls back to the exhaustive rank. Callers hold
+// f.mu.
+func (f *Fleet) sweepLocked(app string, exclude *Node, yield func(candidate) bool) {
+	if f.index != nil {
+		f.index.sweep(f.cfg.Affinity[app], func(c candidate) bool {
+			if c.node == exclude {
+				return true
+			}
+			return yield(c)
+		})
+		return
+	}
+	for _, c := range f.rank(app) {
+		if c.node == exclude {
+			continue
+		}
+		if !yield(c) {
+			return
+		}
+	}
+}
+
+// tryAdmitLocked offers one application to one candidate node. On
+// success it returns the session; on a typed admission refusal it
+// records the node's refusal into perr and returns (nil, nil) so the
+// sweep moves on; any other error (a planning failure, a closed
+// runtime) is fatal.
+func (f *Fleet) tryAdmitLocked(c candidate, app *core.Application, opts runtime.AdmitOptions, perr *PlacementError) (*runtime.Session, error) {
+	s, err := c.node.RT.Admit(app, opts)
+	if err == nil {
+		return s, nil
+	}
+	var aerr *runtime.AdmissionError
+	if !errors.As(err, &aerr) {
+		return nil, fmt.Errorf("fleet: placing %q on %s: %w", app.Name, c.node.ID, err)
+	}
+	c.node.rejected++
+	if perr != nil {
+		perr.Refusals = append(perr.Refusals, NodeRefusal{Node: c.node.ID, Err: aerr})
+	}
+	return nil, nil
+}
+
 // Place routes one arrival onto the fleet: candidates are ranked by
-// affinity and projected interference headroom, and the application is
-// admitted on the first node that accepts it. A node's typed
-// *runtime.AdmissionError is a spillover, not a failure — placement
-// moves on to the next-ranked candidate and only returns
-// *PlacementError once every node has refused. Any other admission
-// error (a planning failure, a closed runtime) aborts the sweep and is
-// returned as-is.
+// affinity and projected interference headroom (via the banded index
+// unless disabled), and the application is admitted on the first node
+// that accepts it. A node's typed *runtime.AdmissionError is a
+// spillover, not a failure — placement moves on to the next-ranked
+// candidate and only returns *PlacementError once every node has
+// refused. Any other admission error (a planning failure, a closed
+// runtime) aborts the sweep and is returned as-is. Drained nodes are
+// invisible to the sweep.
 //
 // The session is admitted with the caller's options verbatim; replay
 // passes Hold so execution stays on the replay clock.
@@ -127,33 +184,44 @@ func (f *Fleet) Place(app *core.Application, opts runtime.AdmitOptions) (*Placem
 		opts.Name = fmt.Sprintf("%s#%d", app.Name, f.seq)
 	}
 
-	var perr PlacementError
-	perr.App = app.Name
-	for choice, c := range f.rank(app.Name) {
-		s, err := c.node.RT.Admit(app, opts)
-		if err == nil {
-			c.node.placed++
-			f.placed++
-			if choice > 0 {
-				f.spills++
-			}
-			f.emit(obs.KindPlace, func(e *obs.Event) {
-				e.Session = opts.Name
-				e.Detail = fmt.Sprintf("node=%s choice=%d", c.node.ID, choice)
-			})
-			return &Placement{Node: c.node, Session: s, Choice: choice}, nil
+	perr := &PlacementError{App: app.Name}
+	var placed *Placement
+	var fatal error
+	choice := 0
+	f.sweepLocked(app.Name, nil, func(c candidate) bool {
+		s, err := f.tryAdmitLocked(c, app, opts, perr)
+		if err != nil {
+			fatal = err
+			return false
 		}
-		var aerr *runtime.AdmissionError
-		if !errors.As(err, &aerr) {
-			return nil, fmt.Errorf("fleet: placing %q on %s: %w", app.Name, c.node.ID, err)
+		if s != nil {
+			placed = &Placement{Node: c.node, Session: s, Choice: choice}
+			return false
 		}
-		c.node.rejected++
-		perr.Refusals = append(perr.Refusals, NodeRefusal{Node: c.node.ID, Err: aerr})
-	}
-	f.rejected++
-	f.emit(obs.KindReject, func(e *obs.Event) {
-		e.Session = opts.Name
-		e.Detail = fmt.Sprintf("fleet: all %d nodes refused", len(f.nodes))
+		choice++
+		return true
 	})
-	return nil, &perr
+	if fatal != nil {
+		return nil, fatal
+	}
+	if placed == nil {
+		f.rejected++
+		f.emit(obs.KindReject, func(e *obs.Event) {
+			e.Session = opts.Name
+			e.Detail = fmt.Sprintf("fleet: all %d nodes refused", len(perr.Refusals))
+		})
+		return nil, perr
+	}
+	placed.Node.placed++
+	f.placed++
+	if placed.Choice > 0 {
+		f.spills++
+	}
+	f.trackLocked(opts.Name, app, opts, placed.Node, placed.Session)
+	f.refileLocked(placed.Node)
+	f.emit(obs.KindPlace, func(e *obs.Event) {
+		e.Session = opts.Name
+		e.Detail = fmt.Sprintf("node=%s choice=%d", placed.Node.ID, placed.Choice)
+	})
+	return placed, nil
 }

@@ -3,10 +3,10 @@ package fleet
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"strconv"
 	"time"
 
+	"bettertogether/internal/des"
 	"bettertogether/internal/runtime"
 	"bettertogether/pkg/btapps"
 )
@@ -32,6 +32,27 @@ type PlacementRecord struct {
 	Elapsed float64 `json:"elapsed"`
 }
 
+// DrainRecord is one drain control event's outcome during a replay.
+type DrainRecord struct {
+	// At is the drain's logical time; Node the cordoned node.
+	At   float64 `json:"at"`
+	Node string  `json:"node"`
+	// Migrated counts held sessions moved off the node by this event.
+	Migrated int `json:"migrated"`
+}
+
+// SampleRecord is one scheduled stats-sampling event: the fleet's
+// placement counters as of a logical instant, letting a replay export
+// a time series instead of only a final tally.
+type SampleRecord struct {
+	At         float64 `json:"at"`
+	Arrivals   int     `json:"arrivals"`
+	Placed     int     `json:"placed"`
+	Spills     int     `json:"spills"`
+	Rejected   int     `json:"rejected"`
+	Migrations int     `json:"migrations,omitempty"`
+}
+
 // ReplayResult aggregates one trace replay.
 type ReplayResult struct {
 	// Arrivals, Placed, Spilled, Rejected are the fleet-wide counts for
@@ -42,6 +63,14 @@ type ReplayResult struct {
 	Rejected int `json:"rejected"`
 	// Records holds every arrival's outcome in trace order.
 	Records []PlacementRecord `json:"records"`
+	// Drains, Migrated and Samples report control-plane activity: one
+	// DrainRecord per drain event, total sessions migrated (drains plus
+	// rebalance sweeps), and the sampled counter time series. All empty —
+	// and absent from the JSON — unless ReplayOptions scheduled them, so
+	// a plain Replay's output is unchanged by their existence.
+	Drains   []DrainRecord  `json:"drains,omitempty"`
+	Migrated int            `json:"migrated,omitempty"`
+	Samples  []SampleRecord `json:"samples,omitempty"`
 	// P50 and P99 are completed-session latency quantiles in virtual
 	// seconds.
 	P50 float64 `json:"p50"`
@@ -57,103 +86,245 @@ func (r ReplayResult) RejectionRate() string {
 	return strconv.FormatFloat(float64(r.Rejected)/float64(r.Arrivals), 'f', 4, 64)
 }
 
-// replayEvent is one edge of the lockstep replay clock.
-type replayEvent struct {
-	at        float64
-	departure bool
-	seq       int // trace index
+// ReplayOptions schedules control-plane behavior onto a replay's
+// event timeline. The zero value replays the trace alone.
+type ReplayOptions struct {
+	// DrainNode, when non-empty, drains that node at logical time
+	// DrainAt: it is cordoned out of placement and its held sessions
+	// migrate elsewhere (place-elsewhere-then-release).
+	DrainNode string
+	DrainAt   float64
+	// RebalanceEvery, when positive, schedules a rebalance sweep every
+	// that many logical seconds across the trace horizon, retrying
+	// migration for sessions stranded on drained nodes.
+	RebalanceEvery float64
+	// SampleEvery, when positive, samples the fleet's placement counters
+	// every that many logical seconds into ReplayResult.Samples.
+	SampleEvery float64
 }
 
-// Replay runs a trace through the fleet in logical-time lockstep:
+// Replay event priorities: events sharing a logical timestamp run
+// departures first (capacity freed "now" is visible "now"), then
+// control-plane events (a drain at t sees t's departures and shapes
+// t's arrivals), then arrivals, then stats samples (a sample at t
+// reports t's settled state). Within a priority, trace/schedule order
+// breaks ties.
+const (
+	prioDepart = iota
+	prioControl
+	prioArrival
+	prioSample
+)
+
+// Replay runs a trace through the fleet in logical time with no
+// control-plane events scheduled. It is a thin wrapper over ReplayWith;
+// its output is byte-identical to the historical lockstep replay loop
+// (pinned by TestReplayDeterministic and the CI smoke comparison).
+func (f *Fleet) Replay(t Trace) (ReplayResult, error) {
+	return f.ReplayWith(t, ReplayOptions{})
+}
+
+// ReplayWith replays a trace on a dedicated discrete-event engine:
+// every temporal behavior — arrivals, dwell-expiry departures, drain
+// and rebalance sweeps, stats sampling — is a scheduled event on one
+// priority-ordered timeline rather than a hand-rolled merge loop.
 //
 //   - An arrival is placed with runtime.AdmitOptions.Hold — planned,
 //     admitted, and reserving headroom, but not executing. The
 //     reservation immediately shapes every co-resident's interference
 //     environment, exactly like a running session would.
-//   - A departure starts the held session and waits for it to run to
-//     completion before the clock advances.
+//   - A departure starts the (possibly migrated) held session and waits
+//     for it to run to completion before the event loop advances.
+//   - Control events (drain, rebalance) move reservations between
+//     nodes; a migrated session departs from wherever it lives when its
+//     dwell expires.
 //
-// Departures sort ahead of arrivals at equal times, so capacity freed
-// "now" is visible to arrivals "now". Because the Sim engine models
-// co-location through the interference environment rather than actual
-// concurrency, serializing execution this way changes no modeled
-// latency — and makes the whole replay deterministic: one trace, one
-// seed, one byte-identical result, every run.
-func (f *Fleet) Replay(t Trace) (ReplayResult, error) {
-	events := make([]replayEvent, 0, 2*len(t.Arrivals))
-	for i, a := range t.Arrivals {
-		events = append(events,
-			replayEvent{at: a.At, seq: i},
-			replayEvent{at: a.At + a.Dwell, departure: true, seq: i},
-		)
+// Because the Sim engine models co-location through the interference
+// environment rather than actual concurrency, serializing execution
+// this way changes no modeled latency — and makes the whole replay
+// deterministic: one trace, one seed, one byte-identical result, every
+// run.
+func (f *Fleet) ReplayWith(t Trace, opts ReplayOptions) (ReplayResult, error) {
+	if opts.DrainNode != "" && opts.DrainAt < 0 {
+		return ReplayResult{}, fmt.Errorf("fleet: replay: negative drain time %v", opts.DrainAt)
 	}
-	sort.SliceStable(events, func(a, b int) bool {
-		if events[a].at != events[b].at {
-			return events[a].at < events[b].at
-		}
-		if events[a].departure != events[b].departure {
-			return events[a].departure
-		}
-		return events[a].seq < events[b].seq
-	})
 
 	res := ReplayResult{
 		Arrivals: len(t.Arrivals),
 		Records:  make([]PlacementRecord, len(t.Arrivals)),
 	}
-	sessions := make([]*runtime.Session, len(t.Arrivals))
-	for _, ev := range events {
-		a := t.Arrivals[ev.seq]
-		rec := &res.Records[ev.seq]
-		if ev.departure {
-			s := sessions[ev.seq]
-			if s == nil {
-				continue // rejected on arrival, nothing to depart
-			}
-			s.Start()
-			r := s.Wait()
-			if r.Err != nil {
-				return res, fmt.Errorf("fleet: replay: session %s: %w", r.Name, r.Err)
-			}
-			rec.Elapsed = r.Elapsed
-			f.observeLatency(r.Elapsed)
-			continue
+	startMigrations := f.migrationCount()
+
+	eng := des.New()
+	var failed error
+	fail := func(err error) {
+		if failed == nil {
+			failed = err
 		}
-		rec.Seq = ev.seq
-		rec.At = a.At
-		rec.App = a.App
-		rec.Session = fmt.Sprintf("%s#%d", a.App, ev.seq)
-		app, err := btapps.ByName(a.App)
-		if err != nil {
-			return res, fmt.Errorf("fleet: replay: arrival %d: %w", ev.seq, err)
+	}
+
+	// Schedule the trace in order: within a timestamp and priority, seq
+	// order equals trace order, reproducing the lockstep loop's stable
+	// sort exactly — including the zero-dwell edge where an arrival's
+	// own departure fires first and finds no session.
+	horizon := 0.0
+	for i, a := range t.Arrivals {
+		i, a := i, a
+		if end := a.At + a.Dwell; end > horizon {
+			horizon = end
 		}
-		p, err := f.Place(app, runtime.AdmitOptions{
-			Name:  rec.Session,
-			Tasks: a.Tasks,
-			Seed:  a.Seed,
-			Hold:  true,
+		eng.AtPrio(a.At, prioArrival, func() {
+			if failed != nil {
+				return
+			}
+			fail(f.replayArrival(&res, i, a))
 		})
-		if err != nil {
-			var perr *PlacementError
-			if !errors.As(err, &perr) {
-				return res, err
+		eng.AtPrio(a.At+a.Dwell, prioDepart, func() {
+			if failed != nil {
+				return
 			}
-			rec.Rejected = true
-			rec.Reason = perr.Error()
-			res.Rejected++
-			continue
+			fail(f.replayDeparture(&res.Records[i]))
+		})
+	}
+
+	if opts.DrainNode != "" {
+		at := opts.DrainAt
+		eng.AtPrio(at, prioControl, func() {
+			if failed != nil {
+				return
+			}
+			moved, err := f.Drain(opts.DrainNode)
+			if err != nil {
+				fail(fmt.Errorf("fleet: replay: %w", err))
+				return
+			}
+			res.Drains = append(res.Drains, DrainRecord{At: at, Node: opts.DrainNode, Migrated: moved})
+		})
+	}
+	if opts.RebalanceEvery > 0 {
+		for at := opts.RebalanceEvery; at <= horizon; at += opts.RebalanceEvery {
+			eng.AtPrio(at, prioControl, func() {
+				if failed != nil {
+					return
+				}
+				if _, err := f.Rebalance(); err != nil {
+					fail(fmt.Errorf("fleet: replay: rebalance: %w", err))
+				}
+			})
 		}
-		sessions[ev.seq] = p.Session
-		rec.Node = p.Node.ID
-		rec.Choice = p.Choice
-		res.Placed++
-		if p.Choice > 0 {
-			res.Spilled++
+	}
+	if opts.SampleEvery > 0 {
+		for at := opts.SampleEvery; at <= horizon; at += opts.SampleEvery {
+			at := at
+			eng.AtPrio(at, prioSample, func() {
+				if failed != nil {
+					return
+				}
+				res.Samples = append(res.Samples, f.sample(at))
+			})
 		}
+	}
+
+	eng.Run()
+	res.Migrated = f.migrationCount() - startMigrations
+	if failed != nil {
+		return res, failed
 	}
 	res.P50 = f.latency.Quantile(0.50).Seconds()
 	res.P99 = f.latency.Quantile(0.99).Seconds()
 	return res, nil
+}
+
+// replayArrival handles one arrival event: resolve the application,
+// place it held, and record the outcome.
+func (f *Fleet) replayArrival(res *ReplayResult, i int, a Arrival) error {
+	rec := &res.Records[i]
+	rec.Seq = i
+	rec.At = a.At
+	rec.App = a.App
+	rec.Session = a.Session
+	if rec.Session == "" {
+		rec.Session = fmt.Sprintf("%s#%d", a.App, i)
+	}
+	app, err := btapps.ByName(a.App)
+	if err != nil {
+		return fmt.Errorf("fleet: replay: arrival %d: %w", i, err)
+	}
+	p, err := f.Place(app, runtime.AdmitOptions{
+		Name:  rec.Session,
+		Tasks: a.Tasks,
+		Seed:  a.Seed,
+		Hold:  true,
+	})
+	if err != nil {
+		var perr *PlacementError
+		if !errors.As(err, &perr) {
+			return err
+		}
+		rec.Rejected = true
+		rec.Reason = perr.Error()
+		res.Rejected++
+		return nil
+	}
+	rec.Node = p.Node.ID
+	rec.Choice = p.Choice
+	res.Placed++
+	if p.Choice > 0 {
+		res.Spilled++
+	}
+	return nil
+}
+
+// replayDeparture handles one dwell-expiry event: start the held
+// session — wherever migration may have moved it since placement — run
+// it to completion, and fold its latency in. Rejected arrivals have no
+// session and depart as no-ops.
+func (f *Fleet) replayDeparture(rec *PlacementRecord) error {
+	s := f.lookupActive(rec.Session)
+	if s == nil {
+		return nil
+	}
+	s.Start()
+	r := s.Wait()
+	if r.Err != nil {
+		return fmt.Errorf("fleet: replay: session %s: %w", r.Name, r.Err)
+	}
+	rec.Elapsed = r.Elapsed
+	f.observeLatency(r.Elapsed)
+	f.departed(rec.Session)
+	return nil
+}
+
+// lookupActive returns the live session currently registered under a
+// placement name, nil when it never placed or already departed.
+func (f *Fleet) lookupActive(name string) *runtime.Session {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if e, ok := f.active[name]; ok {
+		return e.sess
+	}
+	return nil
+}
+
+// migrationCount reads the fleet's migration counter.
+func (f *Fleet) migrationCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.migrations
+}
+
+// sample snapshots the placement counters for one sampling event.
+func (f *Fleet) sample(at float64) SampleRecord {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return SampleRecord{
+		At:         at,
+		Arrivals:   f.arrivals,
+		Placed:     f.placed,
+		Spills:     f.spills,
+		Rejected:   f.rejected,
+		Migrations: f.migrations,
+	}
 }
 
 // Latency exposes the fleet's completed-session latency histogram.

@@ -66,6 +66,14 @@ const (
 	// session's schedule (Detail carries the diverging estimator cell and
 	// the divergence; the Replan events for the new schedules follow).
 	KindDriftReplan
+	// KindDrain is a fleet node lifecycle edge: a node was cordoned out of
+	// placement (Detail carries "node=<id> migrated=<n>") or restored
+	// (Detail carries "node=<id> uncordoned").
+	KindDrain
+	// KindMigrate is one held session moved off a draining node: the
+	// reservation was re-placed on another node and the original released
+	// (Detail carries "from=<id> to=<id>").
+	KindMigrate
 
 	numKinds
 )
@@ -74,7 +82,7 @@ const (
 var kindNames = [numKinds]string{
 	"run-start", "run-end", "stage-done", "queue-stall", "panic-recovered",
 	"admit", "reject", "replan", "wave-start", "wave-end", "session-end",
-	"place", "drift-replan",
+	"place", "drift-replan", "drain", "migrate",
 }
 
 // String returns the kind's stable wire name.

@@ -19,6 +19,9 @@ type FleetNodeStats struct {
 	// included).
 	Placed   int `json:"placed"`
 	Rejected int `json:"rejected"`
+	// Drained marks a cordoned node: excluded from placement until
+	// uncordoned, though residents that could not migrate keep running.
+	Drained bool `json:"drained,omitempty"`
 	// Headroom is the node runtime's projected demand vs capacity.
 	Headroom Headroom `json:"headroom"`
 }
@@ -36,6 +39,11 @@ type FleetStats struct {
 	Placed   int `json:"placed"`
 	Spills   int `json:"spills"`
 	Rejected int `json:"rejected"`
+	// Migrations counts held sessions moved off draining nodes
+	// (place-elsewhere-then-release); Drained counts currently cordoned
+	// nodes.
+	Migrations int `json:"migrations,omitempty"`
+	Drained    int `json:"drained,omitempty"`
 	// Latency is the completed-session latency histogram (virtual seconds
 	// under the Sim engine). Nil omits the summary family.
 	Latency *metrics.Histogram `json:"-"`
@@ -62,6 +70,11 @@ func PromFleet(w io.Writer, s FleetStats) error {
 	pw.sample("bt_fleet_spillovers_total", nil, float64(s.Spills))
 	pw.family("bt_fleet_rejections_total", "counter", "Arrivals no fleet node could admit.")
 	pw.sample("bt_fleet_rejections_total", nil, float64(s.Rejected))
+	pw.family("bt_fleet_migrations_total", "counter",
+		"Held sessions moved off draining nodes (place-elsewhere-then-release).")
+	pw.sample("bt_fleet_migrations_total", nil, float64(s.Migrations))
+	pw.family("bt_fleet_drained", "gauge", "Fleet nodes currently cordoned out of placement.")
+	pw.sample("bt_fleet_drained", nil, float64(s.Drained))
 
 	if len(s.PerNode) > 0 {
 		pw.family("bt_fleet_node_placed_total", "counter", "Sessions placed per fleet node.")
@@ -72,6 +85,14 @@ func PromFleet(w io.Writer, s FleetStats) error {
 			"Admission refusals per fleet node (spillover probes included).")
 		for _, n := range s.PerNode {
 			pw.sample("bt_fleet_node_rejections_total", nodeLabels(n), float64(n.Rejected))
+		}
+		pw.family("bt_fleet_node_drained", "gauge", "Whether the node is cordoned out of placement (1 = drained).")
+		for _, n := range s.PerNode {
+			v := 0.0
+			if n.Drained {
+				v = 1.0
+			}
+			pw.sample("bt_fleet_node_drained", nodeLabels(n), v)
 		}
 		pw.family("bt_fleet_node_resident", "gauge", "Resident sessions per fleet node.")
 		for _, n := range s.PerNode {

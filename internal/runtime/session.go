@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bettertogether/internal/core"
@@ -100,8 +101,10 @@ type Session struct {
 	done   chan struct{}
 	// started gates the run goroutine: exactly one Start launches it,
 	// whether from Admit (the default), the holder's Start call, or a
-	// Stop/Close unwinding a held session.
-	started sync.Once
+	// Stop/Close unwinding a held session. launched mirrors whether that
+	// gate has fired, so Held can answer without racing the Once.
+	started  sync.Once
+	launched atomic.Bool
 
 	mu   sync.Mutex
 	plan *pipeline.Plan
@@ -329,8 +332,31 @@ func (s *Session) fail(err error) {
 // and Runtime.Close) are no-ops. Admit calls it immediately unless
 // AdmitOptions.Hold deferred the launch to the caller.
 func (s *Session) Start() {
-	s.started.Do(func() { go s.run() })
+	s.started.Do(func() {
+		s.launched.Store(true)
+		go s.run()
+	})
 }
+
+// Held reports whether the session is an unreleased reservation: it was
+// admitted with AdmitOptions.Hold and nothing has invoked Start yet (not
+// the holder, not Stop, not Runtime.Close). A held session occupies
+// admission capacity but executes no waves, which is what makes it
+// migratable — a fleet drain can re-place the reservation on another
+// node and Release this one without losing any completed work.
+func (s *Session) Held() bool {
+	return s.opts.Hold && !s.launched.Load()
+}
+
+// Release discards a held session's reservation without executing it:
+// the session unwinds through the normal exit path (departure
+// re-planning of the survivors included) and Wait returns with a
+// cancellation error and zero completed tasks. This is the second half
+// of the fleet's place-elsewhere-then-release migration — the new
+// reservation is admitted on the target node first, then the source
+// node's copy is Released. Idempotent, and a no-op beyond Stop on a
+// session that already ran.
+func (s *Session) Release() { s.Stop() }
 
 // Name returns the session's runtime identity.
 func (s *Session) Name() string { return s.opts.Name }
