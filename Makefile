@@ -61,6 +61,7 @@ bench-churn:
 	.bench/btbench -exp churn -churn-min-speedup $(CHURN_MIN_SPEEDUP) \
 	  -bench-json .bench/BENCH_6.json \
 	  $(if $(CHURN_GATE),-bench-gate $(CHURN_GATE) -gate-tolerance 10,)
+	$(GO) test -run - -bench BenchmarkSpanHotPath -benchmem ./internal/obs/sessiontrace/
 
 # bench-fleet runs the fleet placement-throughput scaling sweep (banded
 # headroom index vs exhaustive ranking over 10/100/1000-node fleets) and

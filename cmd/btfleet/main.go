@@ -53,6 +53,7 @@ func main() {
 	drainNode := flag.String("drain-node", "", "drain this node mid-replay, migrating its held sessions (requires -drain-at)")
 	drainAt := flag.Float64("drain-at", -1, "logical time of the -drain-node drain, virtual seconds")
 	planner := cli.AddPlannerFlags(flag.CommandLine)
+	tracing := cli.AddTraceFlags(flag.CommandLine)
 	jsonOut := flag.Bool("json", false, "print the replay result as JSON instead of tables")
 	listen := flag.String("listen", "", "serve observability HTTP after the replay (/metrics carries the bt_fleet_* families)")
 	hold := flag.Duration("hold", 0, "with -listen: keep the server up this long after the replay finishes (for scrapers and CI probes)")
@@ -63,6 +64,7 @@ func main() {
 	// or non-finite values would silently select a different policy than
 	// the user asked for.
 	cli.FatalIf("btfleet", planner.Validate())
+	cli.FatalIf("btfleet", tracing.Validate())
 	for _, v := range []struct {
 		name string
 		val  float64
@@ -105,6 +107,8 @@ func main() {
 		OnlineProf:    planner.OnlineProf(),
 		IndexBands:    *indexBands,
 		Seed:          *seed,
+		SessionTrace:  tracing.Tracer(*seed),
+		SLODeadline:   tracing.SLODeadline,
 	}
 	if *drainNode != "" {
 		cfg.Replay = fleet.ReplayOptions{DrainNode: *drainNode, DrainAt: *drainAt}
@@ -131,6 +135,9 @@ func main() {
 	if out.OnlineProfEnabled {
 		fmt.Fprintf(os.Stderr, "btfleet: %s\n", cli.OnlineProfSummary(out.OnlineProf, true))
 	}
+	if out.SLOEnabled {
+		fmt.Fprintf(os.Stderr, "btfleet: %s\n", cli.SLOSummary(out.SLO, true))
+	}
 
 	if *listen != "" {
 		// The fleet is torn down after the replay, so serve the final
@@ -141,6 +148,12 @@ func main() {
 		}
 		if out.OnlineProfEnabled {
 			srvCfg.OnlineProf = func() obs.OnlineProfStats { return out.OnlineProf }
+		}
+		if out.SLOEnabled {
+			srvCfg.SLO = func() obs.SLOStats { return out.SLO }
+		}
+		if cfg.SessionTrace != nil {
+			srvCfg.Traces = cfg.SessionTrace.Handler()
 		}
 		srv, err = obs.Serve(*listen, srvCfg)
 		cli.FatalIf("btfleet", err)

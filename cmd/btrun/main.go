@@ -90,11 +90,13 @@ func main() {
 	hold := flag.Duration("hold", 0, "with -listen: keep the server up this long after the run finishes (for scrapers and CI probes)")
 	chromeTrace := flag.String("chrome-trace", "", "write the run's timeline as Chrome trace_event JSON to this file (implies tracing; open in Perfetto)")
 	planner := cli.AddPlannerFlags(flag.CommandLine)
+	tracing := cli.AddTraceFlags(flag.CommandLine)
 	flag.Parse()
 
 	// One shared validation path for the planner knobs (cache, re-plan
 	// delta, online profiling) across btrun, btfleet and btbench.
 	cli.FatalIf("btrun", planner.Validate())
+	cli.FatalIf("btrun", tracing.Validate())
 
 	if len(apps) == 0 {
 		apps = multiFlag{"octree"}
@@ -107,8 +109,14 @@ func main() {
 	if len(apps) > 1 {
 		runMulti(apps, delays, dev, eng, *schedule, *tasks, *warmup, *seed,
 			*gantt || *traceFlag, *metricsFlag, *listen, *hold, *chromeTrace,
-			planner)
+			planner, tracing)
 		return
+	}
+	// The lifecycle tracer and SLO accounting live in the session runtime,
+	// which only multi-app mode drives; failing fast beats silently
+	// ignoring the flags.
+	if tracing.SLODeadline > 0 || tracing.TraceSample > 0 {
+		cli.Fatalf("btrun", "-slo-deadline and -trace-sample require multi-app mode (repeat -app)")
 	}
 	runSingle(apps[0], dev, eng, *schedule, *engine, *tasks, *warmup, *seed,
 		*gantt || *traceFlag, *metricsFlag, *timeout, *listen, *hold, *chromeTrace)
@@ -249,7 +257,7 @@ func runSingle(appName string, dev *bt.Device, eng bt.Engine, schedule, engineNa
 func runMulti(apps []string, delays []time.Duration, dev *bt.Device, eng bt.Engine,
 	schedule string, tasks, warmup int, seed int64, wantTrace, wantMetrics bool,
 	listen string, hold time.Duration, chromeTrace string,
-	planner *cli.PlannerFlags) {
+	planner *cli.PlannerFlags, tracing *cli.TraceFlags) {
 	if schedule != "auto" {
 		cli.Fatalf("btrun", "multi-app mode plans each session itself; drop -schedule (got %q)", schedule)
 	}
@@ -257,6 +265,10 @@ func runMulti(apps []string, delays []time.Duration, dev *bt.Device, eng bt.Engi
 		btruntime.WithEngine(eng),
 		btruntime.WithSeed(seed),
 	}, planner.RuntimeOptions()...)
+	tracer := tracing.Tracer(seed)
+	if tracer != nil {
+		opts = append(opts, btruntime.WithSessionTrace(tracer))
+	}
 	var stream *obs.Stream
 	if listen != "" {
 		stream = obs.NewStream(obs.DefaultStreamCapacity)
@@ -289,6 +301,15 @@ func runMulti(apps []string, delays []time.Duration, dev *bt.Device, eng bt.Engi
 				}
 			}
 		}
+		if tracing.SLODeadline > 0 {
+			srvCfg.SLO = func() obs.SLOStats {
+				s, _ := rt.SLOStats()
+				return s
+			}
+		}
+		if tracer != nil {
+			srvCfg.Traces = tracer.Handler()
+		}
 		srv = serveObs(listen, srvCfg)
 	}
 
@@ -306,6 +327,7 @@ func runMulti(apps []string, delays []time.Duration, dev *bt.Device, eng bt.Engi
 			Seed:           seed + int64(i)*7919,
 			CollectMetrics: collectMetrics,
 			CollectTrace:   collectTrace,
+			Deadline:       tracing.SLODeadline,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "btrun:", err)
@@ -323,6 +345,9 @@ func runMulti(apps []string, delays []time.Duration, dev *bt.Device, eng bt.Engi
 	}
 	if s, ok := rt.OnlineProfStats(); ok {
 		fmt.Fprintf(os.Stderr, "btrun: %s\n", cli.OnlineProfSummary(s, ok))
+	}
+	if s, ok := rt.SLOStats(); ok {
+		fmt.Fprintf(os.Stderr, "btrun: %s\n", cli.SLOSummary(s, ok))
 	}
 	fmt.Print(rt.Report(100))
 	for _, s := range rt.Sessions() {

@@ -1,0 +1,68 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"math"
+
+	"bettertogether/internal/obs"
+	"bettertogether/internal/obs/sessiontrace"
+)
+
+// TraceFlags bundles the session-tracing and SLO flags shared by btrun
+// and btfleet: the deadline every session is held to and the sampling
+// rate of the causal lifecycle tracer. Both default off, so commands
+// that never set them behave (and print) exactly as before.
+type TraceFlags struct {
+	// SLODeadline is the per-session deadline in virtual seconds of
+	// modeled execution time (0 disables SLO accounting).
+	SLODeadline float64
+	// TraceSample is the head-sampling rate of the session-lifecycle
+	// tracer in [0, 1]: 0 disables tracing entirely, 1 traces every
+	// session.
+	TraceSample float64
+}
+
+// AddTraceFlags declares the shared tracing/SLO flags on fs and returns
+// the struct their parsed values land in. Call Validate after fs.Parse.
+func AddTraceFlags(fs *flag.FlagSet) *TraceFlags {
+	t := &TraceFlags{}
+	fs.Float64Var(&t.SLODeadline, "slo-deadline", 0,
+		"per-session SLO deadline in virtual seconds of modeled time (0 = no SLO)")
+	fs.Float64Var(&t.TraceSample, "trace-sample", 0,
+		"session-lifecycle trace sampling rate in [0,1] (0 = tracing off, 1 = trace every session)")
+	return t
+}
+
+// Validate fails fast on nonsensical values: a negative deadline would
+// mark every session missed, and a sampling rate outside [0, 1] has no
+// probabilistic meaning.
+func (t *TraceFlags) Validate() error {
+	if badKnob(t.SLODeadline) {
+		return fmt.Errorf("-slo-deadline must be a finite value >= 0 (0 disables the SLO), got %v", t.SLODeadline)
+	}
+	if t.TraceSample < 0 || t.TraceSample > 1 || math.IsNaN(t.TraceSample) {
+		return fmt.Errorf("-trace-sample must be in [0, 1] (0 disables tracing), got %v", t.TraceSample)
+	}
+	return nil
+}
+
+// Tracer builds the configured session-lifecycle tracer, nil when
+// tracing is off. seed drives the deterministic sampling decision, so
+// the same seed and rate sample the same sessions on every run.
+func (t *TraceFlags) Tracer(seed int64) *sessiontrace.Tracer {
+	if t.TraceSample <= 0 {
+		return nil
+	}
+	return sessiontrace.New(sessiontrace.Config{SampleRate: t.TraceSample, Seed: seed})
+}
+
+// SLOSummary renders the post-run attainment summary line the commands
+// print to stderr, "" when no session carried a deadline (ok == false).
+func SLOSummary(s obs.SLOStats, ok bool) string {
+	if !ok {
+		return ""
+	}
+	return fmt.Sprintf("slo: %d/%d sessions attained (%s missed %d)",
+		s.Attained, s.Sessions, s.AttainedFraction(), s.Missed)
+}

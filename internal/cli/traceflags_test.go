@@ -1,0 +1,94 @@
+package cli
+
+import (
+	"flag"
+	"math"
+	"strings"
+	"testing"
+
+	"bettertogether/internal/obs"
+)
+
+func parseTrace(t *testing.T, args ...string) *TraceFlags {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	tf := AddTraceFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("Parse(%v): %v", args, err)
+	}
+	return tf
+}
+
+// TestTraceFlagsDefaults pins that the zero flag state is valid and
+// fully off: no tracer, no deadline — commands that never set the flags
+// behave exactly as before.
+func TestTraceFlagsDefaults(t *testing.T) {
+	tf := parseTrace(t)
+	if err := tf.Validate(); err != nil {
+		t.Fatalf("Validate on defaults: %v", err)
+	}
+	if tf.SLODeadline != 0 || tf.TraceSample != 0 {
+		t.Fatalf("defaults %+v, want zeroes", tf)
+	}
+	if tr := tf.Tracer(1); tr != nil {
+		t.Fatalf("Tracer() = %v on defaults, want nil", tr)
+	}
+}
+
+func TestTraceFlagsValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*TraceFlags)
+		want string
+	}{
+		{"negative deadline", func(f *TraceFlags) { f.SLODeadline = -1 }, "-slo-deadline"},
+		{"NaN deadline", func(f *TraceFlags) { f.SLODeadline = math.NaN() }, "-slo-deadline"},
+		{"Inf deadline", func(f *TraceFlags) { f.SLODeadline = math.Inf(1) }, "-slo-deadline"},
+		{"negative rate", func(f *TraceFlags) { f.TraceSample = -0.1 }, "-trace-sample"},
+		{"rate above one", func(f *TraceFlags) { f.TraceSample = 1.5 }, "-trace-sample"},
+		{"NaN rate", func(f *TraceFlags) { f.TraceSample = math.NaN() }, "-trace-sample"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tf := parseTrace(t)
+			tc.mut(tf)
+			err := tf.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted a bad value")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name %s", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestTraceFlagsParseAndBuild(t *testing.T) {
+	tf := parseTrace(t, "-slo-deadline", "3", "-trace-sample", "1")
+	if err := tf.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if tf.SLODeadline != 3 || tf.TraceSample != 1 {
+		t.Fatalf("parsed %+v", tf)
+	}
+	tr := tf.Tracer(7)
+	if tr == nil {
+		t.Fatal("Tracer() = nil at rate 1")
+	}
+	tr.Arrived("octree#0", "octree")
+	if _, ok := tr.Trace("octree#0"); !ok {
+		t.Fatal("rate-1 tracer did not sample")
+	}
+}
+
+func TestSLOSummary(t *testing.T) {
+	if got := SLOSummary(obs.SLOStats{}, false); got != "" {
+		t.Fatalf("disabled summary %q", got)
+	}
+	got := SLOSummary(obs.SLOStats{Sessions: 4, Attained: 3, Missed: 1}, true)
+	for _, want := range []string{"3/4", "0.7500", "missed 1"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("summary %q missing %q", got, want)
+		}
+	}
+}

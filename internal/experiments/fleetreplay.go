@@ -6,6 +6,7 @@ import (
 
 	"bettertogether/internal/fleet"
 	"bettertogether/internal/obs"
+	"bettertogether/internal/obs/sessiontrace"
 	"bettertogether/internal/onlineprof"
 	"bettertogether/internal/report"
 )
@@ -41,6 +42,13 @@ type FleetReplayConfig struct {
 	Seed int64
 	// Events forwards to fleet.Config.Events.
 	Events obs.Sink
+	// Trace forwards to fleet.Config.Trace: the causal session-lifecycle
+	// tracer fed by every node runtime during the replay (nil = off).
+	SessionTrace *sessiontrace.Tracer
+	// SLODeadline forwards to fleet.ReplayOptions.SLODeadline: the
+	// replay-wide per-session deadline in virtual seconds (0 = no SLO
+	// unless individual arrivals carry their own deadlines).
+	SLODeadline float64
 }
 
 func (c FleetReplayConfig) withDefaults() FleetReplayConfig {
@@ -92,6 +100,10 @@ type FleetReplayOutcome struct {
 	// profiling (the counters are then all zero).
 	OnlineProf        obs.OnlineProfStats
 	OnlineProfEnabled bool
+	// SLO merges the node runtimes' deadline-attainment counters;
+	// SLOEnabled is false when no session carried a deadline.
+	SLO        obs.SLOStats
+	SLOEnabled bool
 }
 
 // FleetReplay builds a fleet from the config, replays the trace on the
@@ -120,17 +132,23 @@ func FleetReplay(cfg FleetReplayConfig) (FleetReplayOutcome, error) {
 		IndexBands:    cfg.IndexBands,
 		Events:        cfg.Events,
 		OnlineProf:    cfg.OnlineProf,
+		Trace:         cfg.SessionTrace,
 	})
 	if err != nil {
 		return out, err
 	}
 	defer f.Close()
-	out.Result, err = f.ReplayWith(out.Trace, cfg.Replay)
+	replay := cfg.Replay
+	if cfg.SLODeadline != 0 {
+		replay.SLODeadline = cfg.SLODeadline
+	}
+	out.Result, err = f.ReplayWith(out.Trace, replay)
 	if err != nil {
 		return out, err
 	}
 	out.Stats = f.Stats()
 	out.OnlineProf, out.OnlineProfEnabled = f.OnlineProfStats()
+	out.SLO, out.SLOEnabled = f.SLOStats()
 	return out, nil
 }
 
@@ -178,6 +196,14 @@ func (o FleetReplayOutcome) Render() string {
 	sum.AddRow("p99 latency (s)", report.F4(o.Result.P99))
 	if o.OnlineProfEnabled {
 		sum.AddRow("drift re-plans", fmt.Sprintf("%d", o.OnlineProf.DriftReplans))
+	}
+	// SLO rows appear only when at least one session carried a deadline,
+	// keeping deadline-free replay reports byte-identical.
+	if s := o.Result.SLO; s != nil {
+		sum.AddRow("slo attained", fmt.Sprintf("%d/%d (%s)", s.Attained, s.Sessions, s.Fraction))
+		sum.AddRow("slo missed", fmt.Sprintf("%d", s.Missed))
+		sum.AddRow("slo p50 latency (s)", report.F4(s.P50))
+		sum.AddRow("slo p99 latency (s)", report.F4(s.P99))
 	}
 	b.WriteString(sum.Render())
 	return b.String()

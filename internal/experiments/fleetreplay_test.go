@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"bettertogether/internal/fleet"
+	"bettertogether/internal/obs/sessiontrace"
 )
 
 // TestFleetReplayDefaults runs the canonical 3-node experiment once and
@@ -48,5 +49,44 @@ func TestFleetReplaySuppliedTrace(t *testing.T) {
 	}
 	if out.Result.Arrivals != 2 || out.Result.Placed != 2 {
 		t.Fatalf("supplied trace not replayed: %+v", out.Result)
+	}
+}
+
+// TestFleetReplaySLOWiring pins the experiment-level SLO plumbing: the
+// deadline reaches every session, the outcome carries the merged
+// runtime counters, and the report grows the gated attainment rows —
+// while a deadline-free run's report stays free of them.
+func TestFleetReplaySLOWiring(t *testing.T) {
+	tracer := sessiontrace.New(sessiontrace.Config{SampleRate: 1, Seed: 1})
+	out, err := FleetReplay(FleetReplayConfig{Seed: 1, SLODeadline: 3, SessionTrace: tracer})
+	if err != nil {
+		t.Fatalf("FleetReplay: %v", err)
+	}
+	if out.Result.SLO == nil {
+		t.Fatal("no SLO section in the replay result")
+	}
+	if !out.SLOEnabled || out.SLO.Sessions != out.Result.SLO.Sessions {
+		t.Fatalf("outcome SLO %+v (enabled=%v) disagrees with result %+v",
+			out.SLO, out.SLOEnabled, out.Result.SLO)
+	}
+	if len(tracer.Snapshot()) == 0 {
+		t.Fatal("tracer saw no sessions through the experiment wiring")
+	}
+	body := out.Render()
+	for _, want := range []string{"slo attained", "slo p99 latency (s)"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("render lacks %q", want)
+		}
+	}
+
+	plain, err := FleetReplay(FleetReplayConfig{Seed: 1})
+	if err != nil {
+		t.Fatalf("FleetReplay: %v", err)
+	}
+	if plain.SLOEnabled || plain.Result.SLO != nil {
+		t.Fatal("deadline-free run reports SLO state")
+	}
+	if strings.Contains(plain.Render(), "slo ") {
+		t.Fatal("deadline-free report carries SLO rows")
 	}
 }

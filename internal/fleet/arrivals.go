@@ -29,6 +29,11 @@ type Arrival struct {
 	// across the trace (DecodeTrace rejects duplicates — session names
 	// key the fleet's active-session tracking and must be fleet-unique).
 	Session string `json:"session,omitempty"`
+	// Deadline is the session's SLO budget in virtual seconds of modeled
+	// execution time. 0 attaches no per-arrival deadline (the replay-wide
+	// ReplayOptions.SLODeadline, if set, applies instead); negative
+	// values fail DecodeTrace.
+	Deadline float64 `json:"deadline,omitempty"`
 }
 
 // Trace is a replayable arrival sequence, ordered by At.
@@ -162,6 +167,9 @@ func DecodeTrace(r io.Reader) (Trace, error) {
 		}
 		if a.Dwell < 0 {
 			return Trace{}, fmt.Errorf("fleet: decode trace: arrival %d has negative dwell=%v", i, a.Dwell)
+		}
+		if a.Deadline < 0 {
+			return Trace{}, fmt.Errorf("fleet: decode trace: arrival %d has negative deadline=%v", i, a.Deadline)
 		}
 		if a.Session != "" {
 			if j, dup := sessions[a.Session]; dup {

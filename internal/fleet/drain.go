@@ -127,6 +127,7 @@ func (f *Fleet) migrateLocked(from *Node) (int, error) {
 			}
 			if s != nil {
 				to = c.node
+				f.cfg.Trace.BeginMigration(e.opts.Name, from.ID)
 				e.sess.Release()
 				e.node, e.sess = c.node, s
 				return false
@@ -146,6 +147,7 @@ func (f *Fleet) migrateLocked(from *Node) (int, error) {
 			ev.Session = e.opts.Name
 			ev.Detail = fmt.Sprintf("from=%s to=%s", from.ID, to.ID)
 		})
+		f.cfg.Trace.Migrated(e.opts.Name, from.ID, to.ID)
 	}
 	return moved, nil
 }

@@ -36,6 +36,7 @@ import (
 	"bettertogether/internal/core"
 	"bettertogether/internal/metrics"
 	"bettertogether/internal/obs"
+	"bettertogether/internal/obs/sessiontrace"
 	"bettertogether/internal/onlineprof"
 	"bettertogether/internal/pipeline"
 	"bettertogether/internal/runtime"
@@ -99,6 +100,12 @@ type Config struct {
 	// detector over the shared event stream (events are tagged by
 	// session, and session names are fleet-unique).
 	OnlineProf *onlineprof.Config
+	// Trace, when non-nil, records causal session-lifecycle spans for
+	// sampled arrivals: the fleet adds arrival/placement-attempt/
+	// migration spans and every node runtime adds its admission, wave,
+	// re-plan, and completion spans to the same per-session trace
+	// (session names are fleet-unique, so one tracer serves all nodes).
+	Trace *sessiontrace.Tracer
 }
 
 // nodeSeedStride separates node noise streams; a large odd prime so
@@ -326,6 +333,9 @@ func (f *Fleet) nodeOptions(cfg Config, node int) []runtime.Option {
 	if cfg.OnlineProf != nil {
 		opts = append(opts, runtime.WithOnlineProfiling(*cfg.OnlineProf))
 	}
+	if cfg.Trace != nil {
+		opts = append(opts, runtime.WithSessionTrace(cfg.Trace))
+	}
 	return opts
 }
 
@@ -356,6 +366,24 @@ func (f *Fleet) OnlineProfStats() (obs.OnlineProfStats, bool) {
 		out.DriftsTriggered += s.DriftsTriggered
 		out.Invalidations += s.Invalidations
 		out.DriftReplans += s.DriftReplans
+	}
+	return out, any
+}
+
+// SLOStats merges every node runtime's deadline-attainment counters;
+// ok is false when no deadline-carrying session has completed
+// fleet-wide (wire the introspection server's SLO hook only when it is
+// true, so zero-deadline runs keep their exposition unchanged).
+func (f *Fleet) SLOStats() (obs.SLOStats, bool) {
+	var out obs.SLOStats
+	any := false
+	for _, n := range f.nodes {
+		s, ok := n.RT.SLOStats()
+		if !ok {
+			continue
+		}
+		any = true
+		out.Merge(s)
 	}
 	return out, any
 }

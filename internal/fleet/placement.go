@@ -157,6 +157,7 @@ func (f *Fleet) tryAdmitLocked(c candidate, app *core.Application, opts runtime.
 		return nil, fmt.Errorf("fleet: placing %q on %s: %w", app.Name, c.node.ID, err)
 	}
 	c.node.rejected++
+	f.cfg.Trace.Attempt(opts.Name, c.node.ID, aerr.Error())
 	if perr != nil {
 		perr.Refusals = append(perr.Refusals, NodeRefusal{Node: c.node.ID, Err: aerr})
 	}
@@ -183,6 +184,7 @@ func (f *Fleet) Place(app *core.Application, opts runtime.AdmitOptions) (*Placem
 	if opts.Name == "" {
 		opts.Name = fmt.Sprintf("%s#%d", app.Name, f.seq)
 	}
+	f.cfg.Trace.Arrived(opts.Name, app.Name)
 
 	perr := &PlacementError{App: app.Name}
 	var placed *Placement
@@ -210,6 +212,7 @@ func (f *Fleet) Place(app *core.Application, opts runtime.AdmitOptions) (*Placem
 			e.Session = opts.Name
 			e.Detail = fmt.Sprintf("fleet: all %d nodes refused", len(perr.Refusals))
 		})
+		f.cfg.Trace.Rejected(opts.Name, perr.Error())
 		return nil, perr
 	}
 	placed.Node.placed++
@@ -223,5 +226,6 @@ func (f *Fleet) Place(app *core.Application, opts runtime.AdmitOptions) (*Placem
 		e.Session = opts.Name
 		e.Detail = fmt.Sprintf("node=%s choice=%d", placed.Node.ID, placed.Choice)
 	})
+	f.cfg.Trace.Placed(opts.Name, placed.Node.ID, placed.Choice+1)
 	return placed, nil
 }

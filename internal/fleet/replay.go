@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"bettertogether/internal/des"
+	"bettertogether/internal/metrics"
 	"bettertogether/internal/runtime"
 	"bettertogether/pkg/btapps"
 )
@@ -30,6 +31,12 @@ type PlacementRecord struct {
 	// Elapsed is the completed session's modeled latency in virtual
 	// seconds (0 for rejected arrivals).
 	Elapsed float64 `json:"elapsed"`
+	// Deadline is the SLO budget applied to this session (arrival's own,
+	// else ReplayOptions.SLODeadline); SLO is the verdict, "attained" or
+	// "missed", computed at departure. Both absent when no deadline was
+	// in play, so zero-deadline replay output is unchanged.
+	Deadline float64 `json:"deadline,omitempty"`
+	SLO      string  `json:"slo,omitempty"`
 }
 
 // DrainRecord is one drain control event's outcome during a replay.
@@ -75,6 +82,25 @@ type ReplayResult struct {
 	// seconds.
 	P50 float64 `json:"p50"`
 	P99 float64 `json:"p99"`
+	// SLO summarizes deadline attainment across the replay's
+	// deadline-carrying sessions; nil (and absent from the JSON) unless
+	// some arrival carried a deadline or ReplayOptions.SLODeadline was
+	// set, so zero-deadline output is byte-identical to the pre-SLO
+	// format.
+	SLO *SLOSummary `json:"slo,omitempty"`
+}
+
+// SLOSummary is a replay's deadline-attainment section: counts over
+// completed deadline-carrying sessions (rejected arrivals never ran
+// and are excluded, mirroring the runtime's bt_slo_* counters) plus
+// their latency quantiles in virtual seconds.
+type SLOSummary struct {
+	Sessions int     `json:"sessions"`
+	Attained int     `json:"attained"`
+	Missed   int     `json:"missed"`
+	Fraction string  `json:"attained_fraction"`
+	P50      float64 `json:"p50"`
+	P99      float64 `json:"p99"`
 }
 
 // RejectionRate is rejected/arrivals rendered without NaN on an empty
@@ -101,6 +127,11 @@ type ReplayOptions struct {
 	// SampleEvery, when positive, samples the fleet's placement counters
 	// every that many logical seconds into ReplayResult.Samples.
 	SampleEvery float64
+	// SLODeadline, when positive, applies this SLO budget (virtual
+	// seconds) to every arrival that does not carry its own
+	// Arrival.Deadline. Attainment is computed at each departure and
+	// summarized into ReplayResult.SLO.
+	SLODeadline float64
 }
 
 // Replay event priorities: events sharing a logical timestamp run
@@ -148,6 +179,9 @@ func (f *Fleet) ReplayWith(t Trace, opts ReplayOptions) (ReplayResult, error) {
 	if opts.DrainNode != "" && opts.DrainAt < 0 {
 		return ReplayResult{}, fmt.Errorf("fleet: replay: negative drain time %v", opts.DrainAt)
 	}
+	if opts.SLODeadline < 0 {
+		return ReplayResult{}, fmt.Errorf("fleet: replay: negative SLO deadline %v", opts.SLODeadline)
+	}
 
 	res := ReplayResult{
 		Arrivals: len(t.Arrivals),
@@ -168,8 +202,16 @@ func (f *Fleet) ReplayWith(t Trace, opts ReplayOptions) (ReplayResult, error) {
 	// sort exactly — including the zero-dwell edge where an arrival's
 	// own departure fires first and finds no session.
 	horizon := 0.0
+	sloEnabled := opts.SLODeadline > 0
 	for i, a := range t.Arrivals {
 		i, a := i, a
+		if a.Deadline > 0 {
+			sloEnabled = true
+		}
+		deadline := a.Deadline
+		if deadline == 0 {
+			deadline = opts.SLODeadline
+		}
 		if end := a.At + a.Dwell; end > horizon {
 			horizon = end
 		}
@@ -177,12 +219,14 @@ func (f *Fleet) ReplayWith(t Trace, opts ReplayOptions) (ReplayResult, error) {
 			if failed != nil {
 				return
 			}
-			fail(f.replayArrival(&res, i, a))
+			f.cfg.Trace.AdvanceTo(a.At)
+			fail(f.replayArrival(&res, i, a, deadline))
 		})
 		eng.AtPrio(a.At+a.Dwell, prioDepart, func() {
 			if failed != nil {
 				return
 			}
+			f.cfg.Trace.AdvanceTo(a.At + a.Dwell)
 			fail(f.replayDeparture(&res.Records[i]))
 		})
 	}
@@ -193,6 +237,7 @@ func (f *Fleet) ReplayWith(t Trace, opts ReplayOptions) (ReplayResult, error) {
 			if failed != nil {
 				return
 			}
+			f.cfg.Trace.AdvanceTo(at)
 			moved, err := f.Drain(opts.DrainNode)
 			if err != nil {
 				fail(fmt.Errorf("fleet: replay: %w", err))
@@ -203,10 +248,12 @@ func (f *Fleet) ReplayWith(t Trace, opts ReplayOptions) (ReplayResult, error) {
 	}
 	if opts.RebalanceEvery > 0 {
 		for at := opts.RebalanceEvery; at <= horizon; at += opts.RebalanceEvery {
+			at := at
 			eng.AtPrio(at, prioControl, func() {
 				if failed != nil {
 					return
 				}
+				f.cfg.Trace.AdvanceTo(at)
 				if _, err := f.Rebalance(); err != nil {
 					fail(fmt.Errorf("fleet: replay: rebalance: %w", err))
 				}
@@ -232,12 +279,45 @@ func (f *Fleet) ReplayWith(t Trace, opts ReplayOptions) (ReplayResult, error) {
 	}
 	res.P50 = f.latency.Quantile(0.50).Seconds()
 	res.P99 = f.latency.Quantile(0.99).Seconds()
+	if sloEnabled {
+		res.SLO = summarizeSLO(res.Records)
+	}
 	return res, nil
 }
 
+// summarizeSLO folds the replay records' per-session verdicts into the
+// attainment section. Rejected arrivals never ran, so they carry no
+// verdict and are excluded — the counts line up with the runtimes'
+// bt_slo_* families.
+func summarizeSLO(records []PlacementRecord) *SLOSummary {
+	sum := &SLOSummary{}
+	var h metrics.Histogram
+	for _, rec := range records {
+		if rec.SLO == "" {
+			continue
+		}
+		sum.Sessions++
+		if rec.SLO == "attained" {
+			sum.Attained++
+		} else {
+			sum.Missed++
+		}
+		h.Observe(time.Duration(rec.Elapsed * float64(time.Second)))
+	}
+	if sum.Sessions == 0 {
+		sum.Fraction = "0"
+	} else {
+		sum.Fraction = strconv.FormatFloat(float64(sum.Attained)/float64(sum.Sessions), 'f', 4, 64)
+	}
+	sum.P50 = h.Quantile(0.50).Seconds()
+	sum.P99 = h.Quantile(0.99).Seconds()
+	return sum
+}
+
 // replayArrival handles one arrival event: resolve the application,
-// place it held, and record the outcome.
-func (f *Fleet) replayArrival(res *ReplayResult, i int, a Arrival) error {
+// place it held (carrying its resolved SLO deadline), and record the
+// outcome.
+func (f *Fleet) replayArrival(res *ReplayResult, i int, a Arrival, deadline float64) error {
 	rec := &res.Records[i]
 	rec.Seq = i
 	rec.At = a.At
@@ -246,15 +326,19 @@ func (f *Fleet) replayArrival(res *ReplayResult, i int, a Arrival) error {
 	if rec.Session == "" {
 		rec.Session = fmt.Sprintf("%s#%d", a.App, i)
 	}
+	if deadline > 0 {
+		rec.Deadline = deadline
+	}
 	app, err := btapps.ByName(a.App)
 	if err != nil {
 		return fmt.Errorf("fleet: replay: arrival %d: %w", i, err)
 	}
 	p, err := f.Place(app, runtime.AdmitOptions{
-		Name:  rec.Session,
-		Tasks: a.Tasks,
-		Seed:  a.Seed,
-		Hold:  true,
+		Name:     rec.Session,
+		Tasks:    a.Tasks,
+		Seed:     a.Seed,
+		Hold:     true,
+		Deadline: rec.Deadline,
 	})
 	if err != nil {
 		var perr *PlacementError
@@ -263,6 +347,9 @@ func (f *Fleet) replayArrival(res *ReplayResult, i int, a Arrival) error {
 		}
 		rec.Rejected = true
 		rec.Reason = perr.Error()
+		// No session ever existed, so no SLO budget applies; dropping the
+		// deadline keeps rejected records free of attainment fields.
+		rec.Deadline = 0
 		res.Rejected++
 		return nil
 	}
@@ -290,6 +377,13 @@ func (f *Fleet) replayDeparture(rec *PlacementRecord) error {
 		return fmt.Errorf("fleet: replay: session %s: %w", r.Name, r.Err)
 	}
 	rec.Elapsed = r.Elapsed
+	if rec.Deadline > 0 {
+		if r.Elapsed <= rec.Deadline {
+			rec.SLO = "attained"
+		} else {
+			rec.SLO = "missed"
+		}
+	}
 	f.observeLatency(r.Elapsed)
 	f.departed(rec.Session)
 	return nil

@@ -31,6 +31,12 @@ type ChromeTraceEvent struct {
 	// Args carries span details (task, stage index, PU class) or the
 	// metadata payload.
 	Args map[string]any `json:"args,omitempty"`
+	// ID links flow events ("s" start, "t" step, "f" finish) into one
+	// causality arrow chain; BP is the flow binding point ("e" binds the
+	// arrow to the enclosing slice rather than the next one). Both are
+	// empty for complete and metadata events.
+	ID string `json:"id,omitempty"`
+	BP string `json:"bp,omitempty"`
 }
 
 // ChromeTraceDoc is the JSON object format of a trace_event document.

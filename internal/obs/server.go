@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 	"time"
 
 	"bettertogether/internal/metrics"
@@ -85,6 +86,12 @@ type ServerConfig struct {
 	// OnlineProf supplies online-profiler counters for /metrics (the
 	// bt_onlineprof_* families). Nil omits the families.
 	OnlineProf func() OnlineProfStats
+	// SLO supplies deadline-attainment counters for /metrics (the
+	// bt_slo_* families). Nil omits the families.
+	SLO func() SLOStats
+	// Traces serves the /traces endpoints (the session-lifecycle tracer's
+	// Handler). Nil leaves /traces unmounted.
+	Traces http.Handler
 }
 
 // NewHandler builds the introspection HTTP handler:
@@ -94,23 +101,29 @@ type ServerConfig struct {
 //	/metrics     Prometheus text exposition
 //	/sessions    live runtime session table + admission headroom (JSON)
 //	/trace       Chrome trace_event JSON (?session= selects one session)
-//	/events      recent event-ring contents (JSON, ?n= limits)
+//	/events      recent event-ring contents (JSON; ?n=/?limit= bound the
+//	             count, ?kind= filters by event kind)
+//	/traces      causal session-lifecycle traces (when a tracer is wired)
 //	/debug/pprof Go runtime profiles
 func NewHandler(cfg ServerConfig) http.Handler {
 	mux := http.NewServeMux()
+	index := "bettertogether introspection\n\n" +
+		"/healthz      liveness\n" +
+		"/metrics      Prometheus text exposition\n" +
+		"/sessions     session table + admission headroom (JSON)\n" +
+		"/trace        Chrome trace_event JSON (?session=NAME)\n" +
+		"/events       recent events (JSON, ?n=COUNT&limit=COUNT&kind=KIND)\n"
+	if cfg.Traces != nil {
+		index += "/traces       session lifecycle traces (JSON; /traces/NAME, ?format=chrome)\n"
+	}
+	index += "/debug/pprof  Go runtime profiles\n"
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprint(w, "bettertogether introspection\n\n"+
-			"/healthz      liveness\n"+
-			"/metrics      Prometheus text exposition\n"+
-			"/sessions     session table + admission headroom (JSON)\n"+
-			"/trace        Chrome trace_event JSON (?session=NAME)\n"+
-			"/events       recent events (JSON, ?n=COUNT)\n"+
-			"/debug/pprof  Go runtime profiles\n")
+		fmt.Fprint(w, index)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -120,6 +133,10 @@ func NewHandler(cfg ServerConfig) http.Handler {
 	mux.HandleFunc("/sessions", cfg.handleSessions)
 	mux.HandleFunc("/trace", cfg.handleTrace)
 	mux.HandleFunc("/events", cfg.handleEvents)
+	if cfg.Traces != nil {
+		mux.Handle("/traces", cfg.Traces)
+		mux.Handle("/traces/", cfg.Traces)
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -200,6 +217,9 @@ func (cfg ServerConfig) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if cfg.OnlineProf != nil {
 		_ = PromOnlineProf(w, cfg.OnlineProf())
 	}
+	if cfg.SLO != nil {
+		_ = PromSLO(w, cfg.SLO())
+	}
 }
 
 // sessionsDoc is the /sessions response body.
@@ -274,16 +294,65 @@ type eventsDoc struct {
 	Events   []eventWire `json:"events"`
 }
 
-// handleEvents serves the recent ring contents, oldest first.
+// parseKind resolves an /events ?kind= value to its Kind, or reports
+// that the name matches no known kind.
+func parseKind(name string) (Kind, bool) {
+	for k, kn := range kindNames {
+		if kn == name {
+			return Kind(k), true
+		}
+	}
+	return 0, false
+}
+
+// handleEvents serves the recent ring contents, oldest first. ?n= and
+// ?limit= (synonyms) bound the count; ?kind= keeps only one event kind.
+// Malformed values fail fast with 400 rather than silently serving the
+// unfiltered ring.
 func (cfg ServerConfig) handleEvents(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	if q.Get("n") != "" && q.Get("limit") != "" {
+		http.Error(w, "specify either n or limit, not both", http.StatusBadRequest)
+		return
+	}
 	n := 0
-	if q := r.URL.Query().Get("n"); q != "" {
-		v, err := strconv.Atoi(q)
+	for _, param := range []string{"n", "limit"} {
+		raw := q.Get(param)
+		if raw == "" {
+			continue
+		}
+		v, err := strconv.Atoi(raw)
 		if err != nil || v < 0 {
-			http.Error(w, "n must be a non-negative integer", http.StatusBadRequest)
+			http.Error(w, param+" must be a non-negative integer", http.StatusBadRequest)
 			return
 		}
 		n = v
+	}
+	filtered := false
+	var want Kind
+	if raw := q.Get("kind"); raw != "" {
+		k, ok := parseKind(raw)
+		if !ok {
+			http.Error(w, fmt.Sprintf("unknown kind %q; valid kinds: %s", raw, strings.Join(kindNames[:], ", ")), http.StatusBadRequest)
+			return
+		}
+		want, filtered = k, true
+	}
+	// A kind filter limits after filtering — "the last N events of this
+	// kind" — so the whole ring is scanned; otherwise the ring itself
+	// bounds the fetch.
+	var events []Event
+	if filtered {
+		for _, e := range cfg.Stream.Recent(0) {
+			if e.Kind == want {
+				events = append(events, e)
+			}
+		}
+		if n > 0 && len(events) > n {
+			events = events[len(events)-n:]
+		}
+	} else {
+		events = cfg.Stream.Recent(n)
 	}
 	doc := eventsDoc{
 		Total:    cfg.Stream.Total(),
@@ -291,7 +360,7 @@ func (cfg ServerConfig) handleEvents(w http.ResponseWriter, r *http.Request) {
 		Capacity: cfg.Stream.Capacity(),
 		Events:   []eventWire{},
 	}
-	for _, e := range cfg.Stream.Recent(n) {
+	for _, e := range events {
 		ew := eventWire{
 			Seq:  e.Seq,
 			Wall: e.Wall.Format(time.RFC3339Nano),
@@ -333,6 +402,9 @@ func writeJSON(w http.ResponseWriter, v any) {
 type Server struct {
 	srv *http.Server
 	ln  net.Listener
+	// drain bounds how long Close waits for in-flight handlers before
+	// force-closing their connections (defaults to 2s; tests shorten it).
+	drain time.Duration
 }
 
 // Serve starts the introspection server on addr (e.g. ":9090",
@@ -344,7 +416,7 @@ func Serve(addr string, cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	s := &Server{srv: &http.Server{Handler: NewHandler(cfg)}, ln: ln}
+	s := &Server{srv: &http.Server{Handler: NewHandler(cfg)}, ln: ln, drain: 2 * time.Second}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
 }
@@ -352,9 +424,19 @@ func Serve(addr string, cfg ServerConfig) (*Server, error) {
 // Addr returns the bound listen address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the server down, waiting briefly for in-flight requests.
+// Close shuts the server down: it stops accepting connections and
+// drains in-flight handlers for a bounded window, then force-closes
+// whatever is still running. A reader parked on /events can therefore
+// delay Close by at most the drain window — never hang it forever.
 func (s *Server) Close() error {
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), s.drain)
 	defer cancel()
-	return s.srv.Shutdown(ctx)
+	err := s.srv.Shutdown(ctx)
+	if err == nil {
+		return nil
+	}
+	if cerr := s.srv.Close(); cerr != nil {
+		return cerr
+	}
+	return err
 }

@@ -1,0 +1,72 @@
+package sessiontrace
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+)
+
+// Handler returns the /traces HTTP surface, mounted on obs.Serve via
+// ServerConfig.Traces:
+//
+//	GET /traces                      index of retained traces
+//	GET /traces/{session}            one session's span tree as JSON
+//	GET /traces/{session}?format=chrome   Chrome trace with flow arrows
+//
+// A nil tracer returns a handler that serves an empty index.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.TrimPrefix(r.URL.Path, "/traces")
+		rest = strings.Trim(rest, "/")
+		if rest == "" {
+			t.serveIndex(w)
+			return
+		}
+		doc, ok := t.Trace(rest)
+		if !ok {
+			http.Error(w, "no trace for session "+rest, http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if r.URL.Query().Get("format") == "chrome" {
+			enc.SetIndent("", "")
+			_ = enc.Encode(ChromeFlow(doc))
+			return
+		}
+		_ = enc.Encode(doc)
+	})
+}
+
+// traceSummary is one index row: enough to pick a session without
+// pulling its whole span tree.
+type traceSummary struct {
+	Session string  `json:"session"`
+	TraceID string  `json:"trace_id"`
+	App     string  `json:"app,omitempty"`
+	Verdict string  `json:"verdict,omitempty"`
+	Spans   int     `json:"spans"`
+	Start   float64 `json:"start"`
+	End     float64 `json:"end"`
+}
+
+func (t *Tracer) serveIndex(w http.ResponseWriter) {
+	docs := t.Snapshot()
+	rows := make([]traceSummary, 0, len(docs))
+	for _, d := range docs {
+		row := traceSummary{
+			Session: d.Session, TraceID: d.TraceID, App: d.App,
+			Verdict: d.Verdict, Spans: len(d.Spans),
+		}
+		if len(d.Spans) > 0 {
+			row.Start = d.Spans[0].Start
+			row.End = d.Spans[0].End
+		}
+		rows = append(rows, row)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(rows)
+}

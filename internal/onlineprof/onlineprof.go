@@ -59,6 +59,11 @@ type Config struct {
 	MinSamples     int
 	Hysteresis     int
 	Bucket         float64
+	// DriftHook, when non-nil, is invoked once per latched drift, after
+	// the estimator's mutex has been released — hooks may call back into
+	// estimator methods or other locked subsystems (the session tracer
+	// records its drift-detected span through this).
+	DriftHook func(Drift)
 }
 
 func (c Config) withDefaults() Config {
@@ -198,6 +203,17 @@ func (e *Estimator) ObserveEvent(ev obs.Event) {
 	if ev.Kind != obs.KindStageDone || ev.PU == "" || ev.Stage == "" || ev.Dur <= 0 {
 		return
 	}
+	// The hook fires after observeStage has released the estimator mutex,
+	// so hooks may call back into locked subsystems without ordering risk.
+	if d := e.observeStage(ev); d != nil && e.cfg.DriftHook != nil {
+		e.cfg.DriftHook(*d)
+	}
+}
+
+// observeStage folds one StageDone event into the EWMA cells and drift
+// tracking under the mutex, returning the drift if this observation
+// latched one.
+func (e *Estimator) observeStage(ev obs.Event) *Drift {
 	seconds := ev.Dur.Seconds()
 
 	e.mu.Lock()
@@ -207,7 +223,7 @@ func (e *Estimator) ObserveEvent(ev obs.Event) {
 		// No registered model: nothing to compare against, and pooling
 		// anonymous observations would give cells an untrackable
 		// environment. Skip.
-		return
+		return nil
 	}
 	e.observations++
 
@@ -224,7 +240,7 @@ func (e *Estimator) ObserveEvent(ev obs.Event) {
 
 	modeled, tracked := sm.model[id]
 	if !tracked || sm.latched || c.n < e.cfg.MinSamples {
-		return
+		return nil
 	}
 	div := c.ewma/modeled - 1
 	if div < 0 {
@@ -232,11 +248,11 @@ func (e *Estimator) ObserveEvent(ev obs.Event) {
 	}
 	if div < e.cfg.DriftThreshold {
 		sm.strikes[id] = 0
-		return
+		return nil
 	}
 	sm.strikes[id]++
 	if sm.strikes[id] < e.cfg.Hysteresis {
-		return
+		return nil
 	}
 	// Latch: record the learned correction and park the drift for the
 	// runtime to consume at the next wave boundary.
@@ -253,6 +269,7 @@ func (e *Estimator) ObserveEvent(ev obs.Event) {
 		Observed: c.ewma,
 		Ratio:    ratio,
 	}
+	return sm.pending
 }
 
 // TakeDrift returns the session's pending drift, if one has latched

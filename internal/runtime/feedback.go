@@ -168,6 +168,8 @@ func (rt *Runtime) applyDrift(s *Session) {
 		e.Detail = fmt.Sprintf("observed %.3gx modeled on %s/%s; schedule %s",
 			d.Ratio, d.Stage, d.PU, plan.Schedule)
 	})
+	rt.cfg.Trace.DriftReplanned(s.opts.Name, fmt.Sprintf("observed %.3gx modeled on %s/%s; schedule %s",
+		d.Ratio, d.Stage, d.PU, plan.Schedule))
 	if changed {
 		rt.replanLocked(s)
 	}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"bettertogether/internal/obs"
+	"bettertogether/internal/obs/sessiontrace"
 	"bettertogether/internal/onlineprof"
 	"bettertogether/internal/pipeline"
 	"bettertogether/internal/profiler"
@@ -140,6 +141,19 @@ func WithOnlineProfiling(c onlineprof.Config) Option {
 	return func(cfg *Config) error {
 		cc := c
 		cfg.OnlineProf = &cc
+		return nil
+	}
+}
+
+// WithSessionTrace attaches a causal session-lifecycle tracer: sampled
+// sessions record parent-linked spans for admission, waves, re-plans,
+// drift, and completion (see internal/obs/sessiontrace).
+func WithSessionTrace(t *sessiontrace.Tracer) Option {
+	return func(cfg *Config) error {
+		if t == nil {
+			return fmt.Errorf("runtime: WithSessionTrace(nil)")
+		}
+		cfg.Trace = t
 		return nil
 	}
 }

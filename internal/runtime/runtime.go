@@ -24,12 +24,16 @@ package runtime
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"bettertogether/internal/core"
+	"bettertogether/internal/metrics"
 	"bettertogether/internal/obs"
+	"bettertogether/internal/obs/sessiontrace"
 	"bettertogether/internal/onlineprof"
 	"bettertogether/internal/pipeline"
 	"bettertogether/internal/profiler"
@@ -117,6 +121,12 @@ type Config struct {
 	// never collide with clean ones.
 	ModelAdjust       profiler.Adjust
 	ModelAdjustDigest string
+	// Trace, when non-nil, receives causal session-lifecycle span hooks
+	// for sampled sessions: hold/admit, waves, churn and drift re-plans,
+	// and the end-of-session verdict. With OnlineProf also enabled, the
+	// estimator's drift latches are recorded as drift-detected spans
+	// (unless the caller installed its own OnlineProf.DriftHook).
+	Trace *sessiontrace.Tracer
 }
 
 // Runtime is a long-lived multi-application execution context bound to
@@ -139,6 +149,13 @@ type Runtime struct {
 	skipped      int
 	driftReplans int
 	closed       bool
+
+	// Deadline-attainment counters over completed deadline-carrying
+	// sessions (AdmitOptions.Deadline > 0; released reservations skip).
+	sloSessions int
+	sloAttained int
+	sloMissed   int
+	sloLatency  *metrics.Histogram
 }
 
 // NewFromConfig validates a Config and builds an empty runtime.
@@ -177,7 +194,14 @@ func NewFromConfig(cfg Config) (*Runtime, error) {
 	}
 	rt := &Runtime{dev: cfg.Device, resident: map[int]*Session{}}
 	if cfg.OnlineProf != nil {
-		rt.estimator = onlineprof.NewEstimator(*cfg.OnlineProf)
+		opCfg := *cfg.OnlineProf
+		if cfg.Trace != nil && opCfg.DriftHook == nil {
+			tr := cfg.Trace
+			opCfg.DriftHook = func(d onlineprof.Drift) {
+				tr.DriftDetected(d.Session, d.Stage, string(d.PU), d.Ratio)
+			}
+		}
+		rt.estimator = onlineprof.NewEstimator(opCfg)
 		stream, ok := cfg.Events.(*obs.Stream)
 		if !ok || stream == nil {
 			// No subscribable stream: tee one in so the estimator can
@@ -231,6 +255,9 @@ func (rt *Runtime) Admit(app *core.Application, opts AdmitOptions) (*Session, er
 	if err := app.Validate(); err != nil {
 		return nil, err
 	}
+	if d := opts.Deadline; d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+		return nil, fmt.Errorf("runtime: admit %q: deadline must be a finite value >= 0 (0 disables the SLO), got %v", app.Name, d)
+	}
 	opts = opts.withDefaults(app, rt.nextID)
 
 	env := rt.envLocked(nil)
@@ -259,6 +286,7 @@ func (rt *Runtime) Admit(app *core.Application, opts AdmitOptions) (*Session, er
 		e.Session = s.opts.Name
 		e.Detail = plan.Schedule.String()
 	})
+	rt.cfg.Trace.Admitted(s.opts.Name, app.Name, plan.Schedule.String(), opts.Hold)
 	rt.registerModel(s)
 	rt.replanLocked(s)
 	if !opts.Hold {
@@ -421,6 +449,7 @@ func (rt *Runtime) replanLocked(except *Session) {
 				e.Session = s.opts.Name
 				e.Detail = plan.Schedule.String()
 			})
+			rt.cfg.Trace.Replanned(s.opts.Name, plan.Schedule.String())
 		}
 		rt.registerModel(s)
 	}
@@ -442,6 +471,43 @@ func (rt *Runtime) exit(s *Session) {
 	if !rt.closed {
 		rt.replanLocked(nil)
 	}
+}
+
+// recordSLO folds one completed deadline-carrying session into the
+// attainment counters. Called from the session goroutine's unwind, for
+// sessions with a positive deadline that were not released reservations.
+func (rt *Runtime) recordSLO(elapsed float64, attained bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.sloSessions++
+	if attained {
+		rt.sloAttained++
+	} else {
+		rt.sloMissed++
+	}
+	if rt.sloLatency == nil {
+		rt.sloLatency = &metrics.Histogram{}
+	}
+	rt.sloLatency.Observe(time.Duration(elapsed * float64(time.Second)))
+}
+
+// SLOStats snapshots the deadline-attainment counters. ok is false
+// while no deadline-carrying session has completed — wire the
+// introspection server's SLO hook only when deadlines are in play, so
+// zero-deadline runs keep their exposition byte-identical.
+func (rt *Runtime) SLOStats() (s obs.SLOStats, ok bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.sloSessions == 0 {
+		return obs.SLOStats{}, false
+	}
+	s = obs.SLOStats{Sessions: rt.sloSessions, Attained: rt.sloAttained, Missed: rt.sloMissed}
+	if rt.sloLatency != nil {
+		h := &metrics.Histogram{}
+		h.Merge(rt.sloLatency)
+		s.Latency = h
+	}
+	return s, true
 }
 
 // Sessions returns every session ever admitted, in admission order.

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -56,6 +57,13 @@ type AdmitOptions struct {
 	// and Runtime.Close release held sessions themselves, so a held
 	// session never wedges shutdown.
 	Hold bool
+	// Deadline is the session's SLO budget in seconds of measured elapsed
+	// time (virtual seconds under the Sim engine): a session whose waves
+	// sum past it — or that fails — has missed its deadline. Attainment
+	// is recorded at session end into Runtime.SLOStats and the session
+	// tracer's verdict. 0 attaches no deadline; negative or non-finite
+	// values fail Admit.
+	Deadline float64
 	// GPUPoolWidth forwards to pipeline.Options.GPUPoolWidth.
 	GPUPoolWidth int
 	// CollectMetrics aggregates a per-session metrics.Pipeline across
@@ -157,11 +165,39 @@ func (s *Session) run() {
 	defer func() {
 		// Runs before exit/close (LIFO), so for one session every
 		// WaveEnd precedes its SessionEnd on the stream.
+		res := s.Snapshot()
+		canceled := errors.Is(res.Err, context.Canceled)
+		// A canceled session with zero tasks is a released reservation
+		// (the source half of a migration): the same-named session
+		// continues elsewhere, so it neither counts toward SLO
+		// attainment nor closes the causal trace.
+		released := canceled && res.Tasks == 0
+		attained := false
+		if s.opts.Deadline > 0 && !released {
+			attained = res.Err == nil && res.Elapsed <= s.opts.Deadline
+			s.rt.recordSLO(res.Elapsed, attained)
+		}
+		s.rt.cfg.Trace.SessionEnd(s.opts.Name, res.Elapsed, s.opts.Deadline,
+			res.Tasks, canceled, errString(res.Err))
 		s.rt.emit(func(e *obs.Event) {
 			e.Kind = obs.KindSessionEnd
 			e.Session = s.opts.Name
-			if err := s.Err(); err != nil {
-				e.Detail = err.Error()
+			if res.Err != nil {
+				e.Detail = res.Err.Error()
+			}
+			if s.opts.Deadline > 0 && !released {
+				// Deadline-carrying sessions annotate the stream event;
+				// the zero-deadline path stays byte-identical to the
+				// pre-SLO one.
+				e.Dur = time.Duration(res.Elapsed * float64(time.Second))
+				verdict := "missed"
+				if attained {
+					verdict = "attained"
+				}
+				if e.Detail != "" {
+					e.Detail += "; "
+				}
+				e.Detail += fmt.Sprintf("slo %s (deadline %.3gs)", verdict, s.opts.Deadline)
 			}
 		})
 	}()
@@ -202,6 +238,7 @@ func (s *Session) run() {
 			e.Wave, e.Task = wv, n
 			e.Detail = plan.Schedule.String()
 		})
+		s.rt.cfg.Trace.WaveStart(s.opts.Name, wv, n, plan.Schedule.String())
 		r := s.rt.eng.Run(s.ctx, plan, o)
 		s.absorb(r, o.Metrics, o.Trace, warm)
 		s.rt.emit(func(e *obs.Event) {
@@ -213,6 +250,7 @@ func (s *Session) run() {
 				e.Detail = r.Err.Error()
 			}
 		})
+		s.rt.cfg.Trace.WaveEnd(s.opts.Name, wv, r.Elapsed)
 		if r.Err != nil {
 			s.fail(r.Err)
 			return
@@ -334,6 +372,12 @@ func (s *Session) fail(err error) {
 func (s *Session) Start() {
 	s.started.Do(func() {
 		s.launched.Store(true)
+		if s.opts.Hold && s.ctx.Err() == nil {
+			// A held reservation actually launching (not a Stop/Close
+			// unwind, whose context is already canceled) is a lifecycle
+			// point worth a span.
+			s.rt.cfg.Trace.Started(s.opts.Name)
+		}
 		go s.run()
 	})
 }
